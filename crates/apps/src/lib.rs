@@ -1,0 +1,34 @@
+//! Distributed services built on the snap-stabilizing PIF wave.
+//!
+//! The paper's introduction motivates PIF as the workhorse behind "a wide
+//! class of problems, e.g., spanning tree construction, distributed
+//! infimum function computations, snapshot, termination detection, and
+//! synchronization", and its conclusion positions the snap-stabilizing
+//! PIF as the engine of resets and universal transformers. This crate
+//! implements those services on top of [`pif_core::wave::WaveRunner`]:
+//!
+//! * [`reset`] — a distributed reset: broadcast an epoch-tagged reset
+//!   command; the snap property guarantees that the *first* reset after
+//!   arbitrary corruption reaches every processor and is acknowledged.
+//! * [`snapshot`] — a global snapshot: collect every processor's local
+//!   value in one wave's feedback phase.
+//! * [`infimum`] — distributed infimum/aggregate computation (min, sum,
+//!   or any commutative monoid).
+//! * [`termination`] — termination detection by repeated waves counting
+//!   active processors.
+//! * [`synchronizer`] — a barrier synchronizer: each wave is one pulse;
+//!   no processor starts pulse `i + 1` before every processor finished
+//!   pulse `i`.
+//! * [`transformer`] — the conclusion's *universal transformer*: execute
+//!   a request/response global computation as two chained waves, snap
+//!   guarantees included.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod infimum;
+pub mod reset;
+pub mod snapshot;
+pub mod synchronizer;
+pub mod termination;
+pub mod transformer;

@@ -1,0 +1,153 @@
+//! A barrier synchronizer built from repeated PIF waves.
+//!
+//! Self-stabilizing synchronizers are a classical application of PIF
+//! ([2, 4, 6] in the paper). Each completed wave is one *pulse*: a
+//! processor increments its logical clock exactly when the broadcast of
+//! pulse `i` reaches it, and the root only starts pulse `i + 1` after the
+//! feedback of pulse `i` — so no processor can be more than one pulse
+//! ahead of any other, and after each wave all clocks are equal.
+
+use pif_core::wave::{UnitAggregate, WaveRunner};
+use pif_core::{PifProtocol, PifState};
+use pif_daemon::{Daemon, RunLimits, SimError};
+use pif_graph::{Graph, ProcId};
+
+/// Outcome of one pulse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pulse {
+    /// The pulse number just completed.
+    pub number: u64,
+    /// The logical clocks after the pulse (all equal on success).
+    pub clocks: Vec<u64>,
+    /// Rounds the pulse wave took.
+    pub rounds: u64,
+}
+
+/// Error from a pulse attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PulseError {
+    /// The pulse wave did not complete within the budget.
+    Incomplete,
+    /// The underlying simulator reported an error.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for PulseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PulseError::Incomplete => write!(f, "pulse wave did not complete"),
+            PulseError::Sim(e) => write!(f, "synchronizer simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PulseError {}
+
+impl From<SimError> for PulseError {
+    fn from(e: SimError) -> Self {
+        PulseError::Sim(e)
+    }
+}
+
+/// The barrier synchronizer.
+///
+/// # Examples
+///
+/// ```
+/// use pif_apps::synchronizer::BarrierSynchronizer;
+/// use pif_daemon::daemons::Synchronous;
+/// use pif_graph::{generators, ProcId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::grid(2, 3)?;
+/// let mut sync = BarrierSynchronizer::new(g, ProcId(0));
+/// let p1 = sync.pulse(&mut pif_daemon::daemons::Synchronous::first_action())?;
+/// assert!(p1.clocks.iter().all(|&c| c == 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BarrierSynchronizer {
+    runner: WaveRunner<u64, UnitAggregate>,
+    clocks: Vec<u64>,
+    pulse: u64,
+    limits: RunLimits,
+}
+
+impl BarrierSynchronizer {
+    /// Creates the synchronizer with all clocks at zero.
+    pub fn new(graph: Graph, root: ProcId) -> Self {
+        let n = graph.len();
+        let protocol = PifProtocol::new(root, &graph);
+        let runner = WaveRunner::new(graph, protocol, UnitAggregate);
+        BarrierSynchronizer { runner, clocks: vec![0; n], pulse: 0, limits: RunLimits::default() }
+    }
+
+    /// The logical clocks.
+    pub fn clocks(&self) -> &[u64] {
+        &self.clocks
+    }
+
+    /// Runs one pulse: a full PIF wave after which every clock has
+    /// incremented exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`PulseError::Incomplete`] if the wave did not complete.
+    pub fn pulse(&mut self, daemon: &mut dyn Daemon<PifState>) -> Result<Pulse, PulseError> {
+        self.pulse += 1;
+        let outcome = self.runner.run_cycle_limited(self.pulse, daemon, self.limits)?;
+        if !outcome.satisfies_spec() {
+            return Err(PulseError::Incomplete);
+        }
+        for (i, received) in outcome.received.iter().enumerate() {
+            debug_assert!(*received, "snap PIF delivered everywhere");
+            if *received {
+                self.clocks[i] += 1;
+            }
+        }
+        Ok(Pulse { number: self.pulse, clocks: self.clocks.clone(), rounds: outcome.cycle_rounds })
+    }
+
+    /// Runs `k` consecutive pulses, asserting clock agreement after each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`PulseError`].
+    pub fn pulses(
+        &mut self,
+        k: usize,
+        daemon: &mut dyn Daemon<PifState>,
+    ) -> Result<Vec<Pulse>, PulseError> {
+        (0..k).map(|_| self.pulse(daemon)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_daemon::daemons::{CentralRandom, Synchronous};
+    use pif_graph::generators;
+
+    #[test]
+    fn clocks_advance_in_lockstep() {
+        let g = generators::torus(3, 3).unwrap();
+        let mut sync = BarrierSynchronizer::new(g, ProcId(0));
+        let pulses = sync.pulses(5, &mut Synchronous::first_action()).unwrap();
+        for (i, p) in pulses.iter().enumerate() {
+            assert_eq!(p.number, (i + 1) as u64);
+            assert!(p.clocks.iter().all(|&c| c == (i + 1) as u64), "pulse {i}");
+        }
+    }
+
+    #[test]
+    fn lockstep_survives_random_scheduling() {
+        let g = generators::random_connected(8, 0.25, 2).unwrap();
+        let mut sync = BarrierSynchronizer::new(g, ProcId(0));
+        let mut d = CentralRandom::new(11);
+        for i in 1..=3u64 {
+            let p = sync.pulse(&mut d).unwrap();
+            assert!(p.clocks.iter().all(|&c| c == i));
+        }
+    }
+}

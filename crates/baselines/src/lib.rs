@@ -1,0 +1,35 @@
+//! Baseline PIF protocols the paper positions itself against.
+//!
+//! * [`echo`] — the classical Chang \[10\] / Segall \[21\] propagation of
+//!   information with feedback, adapted to the locally shared memory
+//!   model. Correct from clean configurations; **no fault tolerance at
+//!   all** (a corrupted configuration can deadlock it or complete a wave
+//!   without delivering).
+//! * [`ss_pif`] — a **self-stabilizing but not snap-stabilizing** PIF for
+//!   arbitrary rooted networks, standing in for Cournier et al.,
+//!   ICDCS 2001 \[12\] (see DESIGN.md for the substitution argument). It
+//!   layers phase waves over a self-stabilizing BFS tree: after the tree
+//!   and phases converge, every wave is a correct PIF cycle — but the
+//!   *first* wave out of a corrupted configuration can terminate without
+//!   delivering the message everywhere, which is precisely the drawback
+//!   the snap-stabilizing algorithm removes.
+//! * [`tree_pif`] — a snap-stabilizing PIF for **tree networks** in the
+//!   spirit of Bui, Datta, Petit, Villain [7, 9]: three phases over a
+//!   statically known tree. It shows what the paper's contribution buys:
+//!   the same guarantee *without* a pre-constructed spanning tree.
+//!
+//! All three implement [`FirstWave`], the harness interface used by the
+//! delivery-contrast experiment (E5): run the protocol from a given
+//! initial configuration until its root initiates a wave, and report
+//! whether that very first wave satisfied \[PIF1\]/\[PIF2\].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod echo;
+pub mod ss_pif;
+pub mod tree_pif;
+mod verdict;
+
+pub(crate) use verdict::drive_first_wave;
+pub use verdict::{FirstWave, WaveVerdict};

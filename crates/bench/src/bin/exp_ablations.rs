@@ -1,0 +1,4 @@
+//! E10 — design-choice ablations.
+fn main() {
+    pif_bench::experiments::e10_ablations::run().emit("e10_ablations");
+}

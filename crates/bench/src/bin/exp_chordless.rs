@@ -1,0 +1,4 @@
+//! E6 — chordless parent paths and the height range ecc(r) <= h <= lcp.
+fn main() {
+    pif_bench::experiments::e6_chordless::run().emit("e6_chordless");
+}

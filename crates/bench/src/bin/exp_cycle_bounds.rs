@@ -1,0 +1,4 @@
+//! E1 — Theorem 4: PIF cycle round bounds. See `pif_bench::experiments`.
+fn main() {
+    pif_bench::experiments::e1_cycle_bounds::run().emit("e1_cycle_bounds");
+}

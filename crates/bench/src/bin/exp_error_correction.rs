@@ -1,0 +1,4 @@
+//! E2 — Theorem 1: error correction within 3*Lmax+3 rounds.
+fn main() {
+    pif_bench::experiments::e2_error_correction::run().emit("e2_error_correction");
+}

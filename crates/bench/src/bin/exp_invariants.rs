@@ -1,0 +1,4 @@
+//! E8 — Properties 1-2 invariant monitoring.
+fn main() {
+    pif_bench::experiments::e8_invariants::run().emit("e8_invariants");
+}

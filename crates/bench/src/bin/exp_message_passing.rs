@@ -1,0 +1,4 @@
+//! E13 — the algorithm over asynchronous message passing.
+fn main() {
+    pif_bench::experiments::e13_message_passing::run().emit("e13_message_passing");
+}

@@ -1,0 +1,4 @@
+//! E4 — Theorem 2: classified starts reach their landmark configurations.
+fn main() {
+    pif_bench::experiments::e4_phase_bounds::run().emit("e4_phase_bounds");
+}

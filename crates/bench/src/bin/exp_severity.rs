@@ -1,0 +1,5 @@
+//! E12 — fault-severity sweep: k corrupted registers vs snap success and
+//! recovery rounds.
+fn main() {
+    pif_bench::experiments::e12_severity::run().emit("e12_severity");
+}

@@ -1,0 +1,4 @@
+//! E5 — first-wave delivery contrast: snap vs self-stabilizing vs echo.
+fn main() {
+    pif_bench::experiments::e5_snap_vs_self::run().emit("e5_snap_vs_self");
+}

@@ -1,0 +1,4 @@
+//! E9 — per-processor space in bits.
+fn main() {
+    pif_bench::experiments::e9_space::run().emit("e9_space");
+}

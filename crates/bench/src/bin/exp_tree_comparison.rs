@@ -1,0 +1,4 @@
+//! E7 — arbitrary-network vs tree-specialized snap PIF on trees.
+fn main() {
+    pif_bench::experiments::e7_tree_comparison::run().emit("e7_tree_comparison");
+}

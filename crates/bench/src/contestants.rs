@@ -1,0 +1,73 @@
+//! The snap-stabilizing PIF as a [`FirstWave`] contestant, so the
+//! delivery-contrast experiment (E5) can race it against the baselines on
+//! equal terms: same graph, same root, same daemon strategy, fuzzed
+//! initial configurations of comparable severity.
+
+use pif_baselines::{FirstWave, WaveVerdict};
+use pif_core::{checker, initial, PifProtocol};
+use pif_daemon::RunLimits;
+use pif_graph::{Graph, ProcId};
+
+/// The paper's algorithm as a contestant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SnapPifContestant;
+
+impl FirstWave for SnapPifContestant {
+    fn name(&self) -> &'static str {
+        "snap PIF (this paper)"
+    }
+
+    fn first_wave(
+        &self,
+        graph: &Graph,
+        root: ProcId,
+        seed: Option<u64>,
+        limits: RunLimits,
+    ) -> WaveVerdict {
+        let protocol = PifProtocol::new(root, graph);
+        let init = match seed {
+            None => initial::normal_starting(graph),
+            Some(s) => initial::random_config(graph, &protocol, s),
+        };
+        let mut daemon = pif_daemon::daemons::CentralRandom::new(seed.unwrap_or(0));
+        match checker::check_first_wave(graph.clone(), protocol, init, &mut daemon, limits) {
+            Ok(report) => WaveVerdict {
+                initiated: report.outcome.initiated,
+                completed: report.outcome.initiated && report.outcome.cycle_rounds > 0
+                    || report.outcome.pif2,
+                pif1: report.outcome.pif1,
+                pif2: report.outcome.pif2,
+                missed: report.missed,
+                rounds: report.outcome.rounds_to_broadcast + report.outcome.cycle_rounds,
+            },
+            Err(_) => WaveVerdict {
+                initiated: false,
+                completed: false,
+                pif1: false,
+                pif2: false,
+                missed: graph.procs().collect(),
+                rounds: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_graph::generators;
+
+    #[test]
+    fn snap_contestant_wins_from_any_seed() {
+        let g = generators::random_connected(10, 0.2, 7).unwrap();
+        for seed in 0..25 {
+            let v = SnapPifContestant.first_wave(
+                &g,
+                ProcId(0),
+                Some(seed),
+                RunLimits::default(),
+            );
+            assert!(v.holds(), "seed {seed}: {v:?}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! **E13 — message-passing study (beyond the paper).** The paper's model
+//! is locally shared memory; real networks pass messages. Running the
+//! unchanged algorithm over the classical state-dissemination transform
+//! (cached neighbor states over FIFO links, `pif-netsim`) measures what
+//! survives the weaker model:
+//!
+//! * from a clean start the waves still complete and cover the network
+//!   (the correction actions absorb stale-cache churn);
+//! * with scrambled *register* state (shared-memory-style corruption,
+//!   caches consistent) the first wave usually survives too;
+//! * with scrambled *caches* and no heartbeats, the system can deadlock
+//!   silently — heartbeats restore recovery. This is the classical
+//!   argument for why message-passing self-stabilization needs periodic
+//!   retransmission (Katz–Perry / Varghese), reproduced as a measurement.
+//!
+//! "Covered" is judged structurally: every processor executed its
+//! `B-action` between the root's `B-action` and the root's `F-action` of
+//! the same wave.
+
+use pif_core::protocol::{B_ACTION, F_ACTION};
+use pif_core::{initial, PifProtocol, PifState, Phase};
+use pif_graph::{ProcId, Topology};
+use pif_netsim::{Effect, NetSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Table;
+use crate::runner::par_map;
+
+/// The corruption modes compared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetMode {
+    /// Clean registers, consistent caches, empty channels.
+    Clean,
+    /// Fuzzed registers; caches consistent with them.
+    FuzzedRegisters,
+    /// Clean registers; caches scrambled (heartbeats on).
+    ScrambledCaches,
+    /// Clean registers; caches scrambled; heartbeats off.
+    ScrambledNoHeartbeat,
+}
+
+impl NetMode {
+    /// All modes.
+    pub const ALL: [NetMode; 4] = [
+        NetMode::Clean,
+        NetMode::FuzzedRegisters,
+        NetMode::ScrambledCaches,
+        NetMode::ScrambledNoHeartbeat,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetMode::Clean => "clean start",
+            NetMode::FuzzedRegisters => "fuzzed registers",
+            NetMode::ScrambledCaches => "scrambled caches (+heartbeat)",
+            NetMode::ScrambledNoHeartbeat => "scrambled caches (no heartbeat)",
+        }
+    }
+}
+
+/// The verdict of one message-passing run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetVerdict {
+    /// A wave completed and covered every processor.
+    Covered,
+    /// A wave completed but skipped someone.
+    Skipped,
+    /// No wave completed within the budget.
+    Stuck,
+}
+
+/// Runs one trial.
+pub fn trial(topology: &Topology, mode: NetMode, seed: u64, bias: f64) -> NetVerdict {
+    let g = topology.build().expect("suite topologies are valid");
+    let n = g.len();
+    let root = ProcId(0);
+    let protocol = PifProtocol::new(root, &g);
+    let init = match mode {
+        NetMode::FuzzedRegisters => initial::random_config(&g, &protocol, seed),
+        _ => initial::normal_starting(&g),
+    };
+    let mut net = NetSimulator::new(g.clone(), protocol.clone(), init);
+    if mode == NetMode::ScrambledNoHeartbeat {
+        net = net.without_heartbeats();
+    }
+    if matches!(mode, NetMode::ScrambledCaches | NetMode::ScrambledNoHeartbeat) {
+        // Cache states that look like a finished broadcast everywhere:
+        // they block both joining (Fok set) and the root's start (phase B).
+        net.scramble_caches(|_, q| PifState {
+            phase: Phase::B,
+            par: q,
+            level: 1,
+            count: 1,
+            fok: true,
+        });
+    }
+
+    // Drive with the traced scheduler, tracking wave membership.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE13);
+    let mut joined = vec![false; n];
+    let mut wave_open = false;
+    for _ in 0..400_000u64 {
+        match net.step_random(&mut rng, bias) {
+            None => return NetVerdict::Stuck,
+            Some(Effect::Executed(p, a)) => {
+                if p == root && a == B_ACTION {
+                    joined = vec![false; n];
+                    joined[root.index()] = true;
+                    wave_open = true;
+                } else if a == B_ACTION {
+                    joined[p.index()] = true;
+                } else if p == root && a == F_ACTION && wave_open {
+                    return if joined.iter().all(|&j| j) {
+                        NetVerdict::Covered
+                    } else {
+                        NetVerdict::Skipped
+                    };
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    NetVerdict::Stuck
+}
+
+/// Runs E13 with default parameters.
+pub fn run() -> Table {
+    run_on(
+        vec![
+            Topology::Chain { n: 8 },
+            Topology::Ring { n: 8 },
+            Topology::Grid { w: 3, h: 3 },
+        ],
+        25,
+    )
+}
+
+/// Parameterized entry point.
+pub fn run_on(topologies: Vec<Topology>, trials: u64) -> Table {
+    let jobs: Vec<(Topology, NetMode)> = topologies
+        .into_iter()
+        .flat_map(|t| NetMode::ALL.into_iter().map(move |m| (t.clone(), m)))
+        .collect();
+    let rows = par_map(jobs, |(t, m)| {
+        let mut covered = 0;
+        let mut skipped = 0;
+        let mut stuck = 0;
+        for seed in 0..trials {
+            let bias = [0.3, 0.5, 0.7][(seed % 3) as usize];
+            match trial(&t, m, seed, bias) {
+                NetVerdict::Covered => covered += 1,
+                NetVerdict::Skipped => skipped += 1,
+                NetVerdict::Stuck => stuck += 1,
+            }
+        }
+        (t, m, covered, skipped, stuck)
+    });
+    let mut table = Table::new(
+        "E13 — the algorithm over asynchronous message passing (state dissemination)",
+        &["topology", "mode", "covered", "skipped", "stuck", "trials"],
+    );
+    for (t, m, covered, skipped, stuck) in &rows {
+        table.row_owned(vec![
+            t.to_string(),
+            m.name().to_string(),
+            covered.to_string(),
+            skipped.to_string(),
+            stuck.to_string(),
+            trials.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_starts_are_always_covered() {
+        for seed in 0..6 {
+            let v = trial(&Topology::Ring { n: 6 }, NetMode::Clean, seed, 0.5);
+            assert_eq!(v, NetVerdict::Covered, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn no_heartbeat_scramble_gets_stuck() {
+        let v = trial(&Topology::Chain { n: 5 }, NetMode::ScrambledNoHeartbeat, 1, 0.5);
+        assert_eq!(v, NetVerdict::Stuck);
+    }
+
+    #[test]
+    fn heartbeats_rescue_scrambled_caches() {
+        let mut covered = 0;
+        for seed in 0..6 {
+            if trial(&Topology::Chain { n: 5 }, NetMode::ScrambledCaches, seed, 0.5)
+                == NetVerdict::Covered
+            {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 5, "heartbeats should almost always rescue: {covered}/6");
+    }
+}

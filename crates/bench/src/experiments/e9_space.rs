@@ -1,0 +1,93 @@
+//! **E9 — space complexity.** Each processor stores `Pif` (2 bits), `Par`
+//! (`⌈log₂ degree⌉` bits), `L` (`⌈log₂ L_max⌉` bits), `Count`
+//! (`⌈log₂ N'⌉` bits) and `Fok` (1 bit): `O(log N)` bits per processor
+//! beyond the neighbor labels — matching the related-work positioning
+//! (the tree algorithms of [7, 9] are constant-space; generality costs a
+//! logarithmic counter).
+
+use pif_core::state::state_bits;
+use pif_graph::Topology;
+
+use crate::report::Table;
+
+/// One (topology family × size) row.
+#[derive(Clone, Debug)]
+pub struct SpaceRow {
+    /// The topology instance.
+    pub topology: Topology,
+    /// Network size.
+    pub n: usize,
+    /// Maximum per-processor state bits.
+    pub max_bits: u32,
+    /// `⌈log₂ N⌉` for reference.
+    pub log2_n: u32,
+}
+
+/// Runs E9 over a size ladder per family.
+pub fn run() -> Table {
+    let mut topologies = Vec::new();
+    for n in [4usize, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        topologies.push(Topology::Chain { n });
+        topologies.push(Topology::Star { n });
+        topologies.push(Topology::Complete { n: n.min(128) });
+    }
+    run_on(topologies)
+}
+
+/// Entry point over explicit topologies.
+pub fn run_on(topologies: Vec<Topology>) -> Table {
+    let mut table = Table::new(
+        "E9 — per-processor state bits (O(log N))",
+        &["topology", "N", "max_bits/proc", "ceil(log2 N)"],
+    );
+    for t in topologies {
+        let r = measure(&t);
+        table.row_owned(vec![
+            r.topology.to_string(),
+            r.n.to_string(),
+            r.max_bits.to_string(),
+            r.log2_n.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Measures one topology.
+pub fn measure(topology: &Topology) -> SpaceRow {
+    let g = topology.build().expect("topologies are valid");
+    let n = g.len();
+    let l_max = (n.saturating_sub(1)).max(1) as u16;
+    let n_prime = n as u32;
+    let max_bits = g
+        .procs()
+        .map(|p| state_bits(g.degree(p), l_max, n_prime))
+        .max()
+        .unwrap_or(0);
+    SpaceRow {
+        topology: topology.clone(),
+        n,
+        max_bits,
+        log2_n: (n as u64).next_power_of_two().trailing_zeros(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_grow_logarithmically() {
+        let small = measure(&Topology::Chain { n: 16 });
+        let large = measure(&Topology::Chain { n: 1024 });
+        // 64x more processors, only ~12 more bits (2 registers × 6 bits).
+        assert!(large.max_bits - small.max_bits <= 14);
+        assert!(large.max_bits > small.max_bits);
+    }
+
+    #[test]
+    fn star_hub_pays_for_degree() {
+        let star = measure(&Topology::Star { n: 64 });
+        let chain = measure(&Topology::Chain { n: 64 });
+        assert!(star.max_bits >= chain.max_bits);
+    }
+}

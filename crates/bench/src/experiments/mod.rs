@@ -1,0 +1,17 @@
+//! The experiment battery: one module per experiment id of DESIGN.md's
+//! per-experiment index. Each `run()` prints its tables, writes CSVs under
+//! `target/experiments/`, and returns the tables for programmatic checks
+//! (the integration tests assert the bounds on scaled-down instances).
+
+pub mod e1_cycle_bounds;
+pub mod e2_error_correction;
+pub mod e3_glt_formation;
+pub mod e4_phase_bounds;
+pub mod e5_snap_vs_self;
+pub mod e6_chordless;
+pub mod e7_tree_comparison;
+pub mod e8_invariants;
+pub mod e9_space;
+pub mod e10_ablations;
+pub mod e12_severity;
+pub mod e13_message_passing;

@@ -1,0 +1,15 @@
+//! Shared infrastructure for the experiment binaries: text/CSV report
+//! tables, a parallel seed-sweep runner, the standard workload suite, and
+//! the snap-PIF contestant for the delivery-contrast experiment.
+//!
+//! Each experiment binary (`exp_*`) regenerates one row-set of
+//! EXPERIMENTS.md; `exp_all` runs the complete battery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contestants;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod workloads;

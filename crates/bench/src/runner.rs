@@ -1,0 +1,95 @@
+//! Parallel seed sweeps: experiments run thousands of independent
+//! simulations; this fans them out over the available cores with
+//! crossbeam's scoped threads.
+
+/// Maps `f` over `items` in parallel, preserving input order in the
+/// result.
+///
+/// # Panics
+///
+/// Panics (propagating the worker's panic message) if `f` panics — an
+/// experiment should fail loudly, not silently drop samples.
+///
+/// # Examples
+///
+/// ```
+/// let squares = pif_bench::runner::par_map((0u64..100).collect(), |x| x * x);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 100);
+/// ```
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let chunk_size = n.div_ceil(threads);
+
+    // Move the items into per-thread chunks up front; each worker returns
+    // its mapped chunk, and chunks are re-concatenated in order.
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+
+    let mapped: Vec<Vec<R>> = crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move |_| c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    mapped.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..1000).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as i32) * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![5], |x: i32| x + 1), vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = par_map(vec![1, 2, 3], |x: i32| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,22 @@
+//! The paper's proof apparatus, executable at runtime.
+//!
+//! Section 4 of the paper defines a vocabulary of structures
+//! ([`trees`] — parent paths, trees, the legal tree, sources, abnormal
+//! processors; Definitions 3–7 and 15–16), configuration classes
+//! ([`mod@classify`] — Definitions 8–14) and invariants
+//! ([`invariants`] — Properties 1–2 and the chordless-path lemma of
+//! Theorem 4). This module implements all of them over concrete
+//! configurations, so experiments can *measure* exactly the quantities the
+//! theorems bound and tests can assert the proofs' intermediate claims.
+
+pub mod classify;
+pub mod invariants;
+pub mod timeline;
+pub mod trees;
+
+pub use classify::{classify, ConfigClass, ConfigSummary};
+pub use invariants::{chordless_parent_paths, property1_holds, property2_holds, InvariantMonitor};
+pub use trees::{
+    abnormal_procs, dot_export, good_configuration, legal_tree, parent_path, ParentPath,
+    PathEnd, TreeDecomposition,
+};

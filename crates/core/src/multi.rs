@@ -1,0 +1,264 @@
+//! Concurrent PIF waves from multiple initiators.
+//!
+//! The paper's introduction sets the general scene: *"any processor can
+//! be an initiator in a PIF protocol, and several PIF protocols may be
+//! running simultaneously. To cope with this concurrent execution, every
+//! processor maintains the identity of the initiators."* Concretely, each
+//! initiator owns an independent copy of the register set (`Pif`, `Par`,
+//! `L`, `Count`, `Fok` indexed by initiator identity); the instances never
+//! read each other's registers, so their executions compose freely.
+//!
+//! [`MultiInitiator`] realizes exactly that product: one protocol
+//! instance per initiator over the same network, advanced under an
+//! interleaving scheduler (a daemon per instance plus a seeded
+//! round-interleaver), with per-instance message delivery and feedback.
+
+use std::fmt;
+
+use pif_daemon::{Daemon, RunLimits, SimError};
+use pif_graph::{Graph, ProcId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::protocol::PifProtocol;
+use crate::state::PifState;
+use crate::wave::{Aggregate, CycleOutcome, WaveRunner};
+
+/// A set of concurrently executing PIF instances, one per initiator.
+///
+/// # Examples
+///
+/// ```
+/// use pif_core::multi::MultiInitiator;
+/// use pif_core::wave::UnitAggregate;
+/// use pif_graph::{generators, ProcId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::torus(3, 3)?;
+/// let mut multi = MultiInitiator::new(
+///     g,
+///     vec![ProcId(0), ProcId(4), ProcId(8)],
+///     |_| UnitAggregate,
+///     7,
+/// );
+/// let outcomes = multi.run_concurrent_cycles(
+///     vec!["from-0".to_string(), "from-4".to_string(), "from-8".to_string()])?;
+/// assert!(outcomes.iter().all(|o| o.pif1 && o.pif2));
+/// # Ok(())
+/// # }
+/// ```
+pub struct MultiInitiator<M, A: Aggregate> {
+    instances: Vec<Instance<M, A>>,
+    rng: StdRng,
+    limits: RunLimits,
+}
+
+struct Instance<M, A: Aggregate> {
+    initiator: ProcId,
+    runner: WaveRunner<M, A>,
+    daemon: Box<dyn Daemon<PifState>>,
+}
+
+impl<M, A> fmt::Debug for MultiInitiator<M, A>
+where
+    M: Clone + PartialEq + fmt::Debug,
+    A: Aggregate,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiInitiator")
+            .field("initiators", &self.initiators())
+            .finish()
+    }
+}
+
+impl<M, A> MultiInitiator<M, A>
+where
+    M: Clone + PartialEq + fmt::Debug,
+    A: Aggregate,
+{
+    /// Creates one instance per initiator over `graph`. `aggregate` is
+    /// called once per initiator to build that instance's feedback
+    /// aggregation. Every instance gets its own seeded random central
+    /// daemon; `seed` also drives the cross-instance interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiators` is empty, contains duplicates, or contains
+    /// an out-of-range processor.
+    pub fn new(
+        graph: Graph,
+        initiators: Vec<ProcId>,
+        mut aggregate: impl FnMut(ProcId) -> A,
+        seed: u64,
+    ) -> Self {
+        assert!(!initiators.is_empty(), "at least one initiator required");
+        let mut sorted = initiators.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), initiators.len(), "duplicate initiators");
+        let instances = initiators
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                assert!(r.index() < graph.len(), "initiator {r} out of range");
+                let protocol = PifProtocol::new(r, &graph);
+                Instance {
+                    initiator: r,
+                    runner: WaveRunner::new(graph.clone(), protocol, aggregate(r)),
+                    daemon: Box::new(pif_daemon::daemons::CentralRandom::new(
+                        seed.wrapping_add(i as u64),
+                    )),
+                }
+            })
+            .collect();
+        MultiInitiator { instances, rng: StdRng::seed_from_u64(seed), limits: RunLimits::default() }
+    }
+
+    /// The initiators, in construction order.
+    pub fn initiators(&self) -> Vec<ProcId> {
+        self.instances.iter().map(|i| i.initiator).collect()
+    }
+
+    /// Runs one PIF cycle per initiator **concurrently**: the instances'
+    /// steps are interleaved uniformly at random until every wave has
+    /// completed (root `F-action`) and cleaned up.
+    ///
+    /// Returns one [`CycleOutcome`] per initiator, in construction order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from any instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages.len()` differs from the number of initiators.
+    pub fn run_concurrent_cycles(
+        &mut self,
+        messages: Vec<M>,
+    ) -> Result<Vec<CycleOutcome<A::Value>>, SimError> {
+        assert_eq!(messages.len(), self.instances.len(), "one message per initiator");
+        for (inst, m) in self.instances.iter_mut().zip(&messages) {
+            inst.runner.overlay_mut().arm(m.clone());
+        }
+        let k = self.instances.len();
+        let mut done = vec![false; k];
+        let mut budget = self.limits.max_steps * k as u64;
+        while done.iter().any(|&d| !d) {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            // Pick a random still-running instance and advance it one step.
+            let live: Vec<usize> = (0..k).filter(|&i| !done[i]).collect();
+            let i = live[self.rng.random_range(0..live.len())];
+            let inst = &mut self.instances[i];
+            if inst.runner.simulator().is_terminal() {
+                done[i] = true;
+                continue;
+            }
+            inst.runner.step(inst.daemon.as_mut())?;
+            // An instance is done once its wave completed and the system
+            // returned to the normal starting configuration.
+            if inst.runner.overlay().feedback_step().is_some()
+                && crate::initial::is_normal_starting(inst.runner.simulator().states())
+            {
+                done[i] = true;
+            }
+        }
+
+        Ok(self
+            .instances
+            .iter()
+            .zip(&messages)
+            .map(|(inst, m)| {
+                let ov = inst.runner.overlay();
+                let received: Vec<bool> = inst
+                    .runner
+                    .simulator()
+                    .graph()
+                    .procs()
+                    .map(|p| ov.message_of(p) == Some(m))
+                    .collect();
+                let pif1 = received.iter().all(|&r| r);
+                CycleOutcome {
+                    initiated: ov.broadcast_step().is_some(),
+                    pif1,
+                    pif2: pif1 && ov.all_acknowledged(),
+                    received,
+                    feedback: ov.root_feedback().cloned(),
+                    rounds_to_broadcast: 0,
+                    cycle_rounds: inst.runner.simulator().rounds(),
+                    cycle_steps: inst.runner.simulator().steps(),
+                    height: ov.observed_height(inst.runner.simulator().states()),
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::{SumAggregate, UnitAggregate};
+    use pif_graph::generators;
+
+    #[test]
+    fn three_concurrent_initiators_all_deliver() {
+        let g = generators::grid(4, 3).unwrap();
+        let mut multi = MultiInitiator::new(
+            g,
+            vec![ProcId(0), ProcId(5), ProcId(11)],
+            |_| SumAggregate::new(vec![1; 12]),
+            3,
+        );
+        let outcomes = multi
+            .run_concurrent_cycles(vec![100u64, 200, 300])
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert!(o.pif1 && o.pif2, "initiator {i}");
+            assert_eq!(o.feedback, Some(12), "initiator {i}");
+        }
+    }
+
+    #[test]
+    fn every_processor_as_simultaneous_initiator() {
+        let g = generators::ring(6).unwrap();
+        let initiators: Vec<ProcId> = g.procs().collect();
+        let mut multi =
+            MultiInitiator::new(g, initiators.clone(), |_| UnitAggregate, 11);
+        let messages: Vec<u32> = (0..6).collect();
+        let outcomes = multi.run_concurrent_cycles(messages).unwrap();
+        for (i, o) in outcomes.iter().enumerate() {
+            assert!(o.satisfies_spec(), "initiator {}", initiators[i]);
+        }
+    }
+
+    #[test]
+    fn interleaving_is_deterministic_per_seed() {
+        let g = generators::chain(5).unwrap();
+        let run = |seed| {
+            let mut multi = MultiInitiator::new(
+                g.clone(),
+                vec![ProcId(0), ProcId(4)],
+                |_| UnitAggregate,
+                seed,
+            );
+            multi
+                .run_concurrent_cycles(vec![1u8, 2])
+                .unwrap()
+                .iter()
+                .map(|o| o.cycle_steps)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate initiators")]
+    fn rejects_duplicate_initiators() {
+        let g = generators::chain(3).unwrap();
+        let _: MultiInitiator<u8, UnitAggregate> =
+            MultiInitiator::new(g, vec![ProcId(0), ProcId(0)], |_| UnitAggregate, 0);
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+use pif_graph::ProcId;
+
+use crate::ActionId;
+
+/// Error produced while running a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The run exceeded its step budget before the target predicate held.
+    MaxStepsExceeded {
+        /// Steps executed.
+        steps: u64,
+        /// Rounds completed.
+        rounds: u64,
+    },
+    /// The run exceeded its round budget before the target predicate held.
+    MaxRoundsExceeded {
+        /// Steps executed.
+        steps: u64,
+        /// Rounds completed.
+        rounds: u64,
+    },
+    /// The daemon produced an invalid selection (disabled processor, action
+    /// not enabled, duplicate processor, or empty selection while processors
+    /// were enabled). This indicates a daemon bug, not a protocol property.
+    InvalidSelection {
+        /// Explanation of the violation.
+        reason: String,
+        /// The offending processor, when identifiable.
+        proc: Option<ProcId>,
+        /// The offending action, when identifiable.
+        action: Option<ActionId>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MaxStepsExceeded { steps, rounds } => {
+                write!(f, "step budget exhausted after {steps} steps ({rounds} rounds)")
+            }
+            SimError::MaxRoundsExceeded { steps, rounds } => {
+                write!(f, "round budget exhausted after {rounds} rounds ({steps} steps)")
+            }
+            SimError::InvalidSelection { reason, proc, action } => {
+                write!(f, "daemon produced an invalid selection: {reason}")?;
+                if let Some(p) = proc {
+                    write!(f, " (processor {p}")?;
+                    if let Some(a) = action {
+                        write!(f, ", action {a}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::MaxStepsExceeded { steps: 10, rounds: 2 };
+        assert!(e.to_string().contains("10 steps"));
+        let e = SimError::InvalidSelection {
+            reason: "processor not enabled".into(),
+            proc: Some(ProcId(3)),
+            action: Some(ActionId(1)),
+        };
+        assert!(e.to_string().contains("p3"));
+        assert!(e.to_string().contains("a1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,110 @@
+//! Execution model substrate for the snap-stabilizing PIF reproduction.
+//!
+//! The paper (Section 2) works in the *locally shared memory* model:
+//!
+//! * every processor owns a set of registers; it may read its own registers
+//!   and those of its neighbors, and write only its own;
+//! * a protocol is a finite set of guarded actions
+//!   `⟨label⟩ :: ⟨guard⟩ → ⟨statement⟩`; evaluating a guard and executing the
+//!   corresponding statement is one atomic step;
+//! * at each computation step a **distributed daemon** chooses a non-empty
+//!   subset of the enabled processors; all chosen processors execute one
+//!   enabled action simultaneously, with every guard evaluated against the
+//!   *old* configuration;
+//! * the daemon is **weakly fair**: a continuously enabled processor is
+//!   eventually chosen;
+//! * time is measured in **rounds** (Dolev, Israeli, Moran): the first round
+//!   of a computation is its minimal prefix in which every processor that was
+//!   continuously enabled from the first configuration executes an action —
+//!   a protocol action or the *disable action* (becoming disabled because a
+//!   neighbor moved).
+//!
+//! This crate implements exactly that model:
+//!
+//! * [`Protocol`] — a guarded-action program, evaluated over a [`View`] of a
+//!   processor's own and neighboring states;
+//! * [`Simulator`] — drives a protocol over a [`pif_graph::Graph`] under a
+//!   chosen [`Daemon`], with [`rounds::RoundCounter`] accounting;
+//! * [`daemons`] — synchronous, central, randomized-distributed and
+//!   adversarial (but weakly fair) daemon strategies;
+//! * [`trace`] — step-by-step execution recording for debugging and for the
+//!   invariant monitors in `pif-core`.
+//!
+//! # Examples
+//!
+//! A one-register "maximum propagation" protocol, simulated to fixpoint:
+//!
+//! ```
+//! use pif_daemon::{ActionId, Daemon, Protocol, RunLimits, Simulator, View};
+//! use pif_daemon::daemons::Synchronous;
+//! use pif_graph::generators;
+//!
+//! struct MaxProto;
+//!
+//! impl Protocol for MaxProto {
+//!     type State = u32;
+//!     fn action_names(&self) -> &'static [&'static str] {
+//!         &["adopt-max"]
+//!     }
+//!     fn enabled_actions(&self, view: View<'_, u32>, out: &mut Vec<ActionId>) {
+//!         let best = view.neighbor_states().map(|(_, &s)| s).max().unwrap_or(0);
+//!         if best > *view.me() {
+//!             out.push(ActionId(0));
+//!         }
+//!     }
+//!     fn execute(&self, view: View<'_, u32>, _a: ActionId) -> u32 {
+//!         view.neighbor_states().map(|(_, &s)| s).max().unwrap()
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::chain(5)?;
+//! let init = vec![3, 0, 9, 0, 1];
+//! let mut sim = Simulator::new(g, MaxProto, init);
+//! let stats = sim.run_to_fixpoint(&mut Synchronous::first_action(), RunLimits::default())?;
+//! assert!(sim.states().iter().all(|&s| s == 9));
+//! assert!(stats.rounds <= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemons;
+mod error;
+pub mod fairness;
+mod protocol;
+pub mod rounds;
+mod sim;
+pub mod trace;
+
+pub use error::SimError;
+pub use protocol::{ActionId, EnabledSet, Protocol, View};
+pub use sim::{Observer, RunLimits, RunStats, Simulator, StepReport};
+
+/// A daemon: the adversary/scheduler choosing, at every computation step, a
+/// non-empty subset of the enabled processors (and for each chosen processor,
+/// which of its enabled actions to execute).
+///
+/// Implementations must uphold the model's contract:
+///
+/// * the selection is a subset of the processors reported enabled;
+/// * every selected processor is paired with one of *its* enabled actions;
+/// * the selection is non-empty whenever any processor is enabled;
+/// * **weak fairness** — a processor that remains enabled forever must
+///   eventually be selected. All daemons in [`daemons`] satisfy this (the
+///   adversarial ones via an explicit fairness bound).
+///
+/// The simulator validates the first three properties defensively and
+/// reports violations as [`SimError::InvalidSelection`].
+pub trait Daemon<S> {
+    /// Chooses the processors (and actions) to execute this step, appending
+    /// `(processor, action)` pairs to `out`. `out` is empty on entry.
+    fn select(&mut self, enabled: &EnabledSet<'_, S>, out: &mut Vec<(pif_graph::ProcId, ActionId)>);
+
+    /// Short human-readable strategy name (used in experiment reports).
+    fn name(&self) -> &'static str {
+        "daemon"
+    }
+}

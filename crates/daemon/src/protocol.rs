@@ -1,0 +1,258 @@
+use std::fmt;
+
+use pif_graph::{Graph, ProcId};
+use serde::{Deserialize, Serialize};
+
+/// Index of an action in a protocol's guarded-action list.
+///
+/// Actions are identified by their position in [`Protocol::action_names`];
+/// the paper's `B-action`, `F-action`, … become `ActionId(0)`, `ActionId(1)`,
+/// ….
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ActionId(pub usize);
+
+impl ActionId {
+    /// The action's position in the protocol's action list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A guarded-action protocol in the locally shared memory model.
+///
+/// A protocol is evaluated per processor: given a read-only [`View`] of the
+/// processor's own state and its neighbors' states, [`enabled_actions`]
+/// reports which guards hold, and [`execute`] computes the processor's next
+/// state for one chosen action. Guard evaluation and execution against the
+/// same configuration form one atomic step, exactly as in the paper's model.
+///
+/// Implementations must be *pure*: the same view must always produce the
+/// same enabled set and the same successor state. The simulator relies on
+/// this to evaluate all selected processors against the old configuration.
+///
+/// [`enabled_actions`]: Protocol::enabled_actions
+/// [`execute`]: Protocol::execute
+pub trait Protocol {
+    /// Per-processor register state.
+    type State: Clone + PartialEq + fmt::Debug;
+
+    /// Names of the protocol's actions, indexed by [`ActionId`].
+    fn action_names(&self) -> &'static [&'static str];
+
+    /// Appends the identifiers of every action whose guard holds for the
+    /// viewed processor. The order does not matter to the simulator; daemons
+    /// may use it as a tie-breaking hint.
+    fn enabled_actions(&self, view: View<'_, Self::State>, out: &mut Vec<ActionId>);
+
+    /// Computes the viewed processor's next state under `action`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action`'s guard does not hold in
+    /// `view`; the simulator only calls this for actions it was told are
+    /// enabled.
+    fn execute(&self, view: View<'_, Self::State>, action: ActionId) -> Self::State;
+
+    /// Human-readable name of an action (falls back to the raw id).
+    fn action_name(&self, action: ActionId) -> &'static str {
+        self.action_names().get(action.index()).copied().unwrap_or("?")
+    }
+}
+
+/// A processor's read-only window onto a configuration: its own state, its
+/// neighbors' states, and the topology. This is the entire set of registers
+/// the locally-shared-memory model lets a processor read.
+#[derive(Clone, Copy)]
+pub struct View<'a, S> {
+    pid: ProcId,
+    graph: &'a Graph,
+    states: &'a [S],
+}
+
+impl<'a, S> View<'a, S> {
+    /// Builds a view of processor `pid` over `states`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the graph size or `pid` is out
+    /// of range.
+    pub fn new(graph: &'a Graph, states: &'a [S], pid: ProcId) -> Self {
+        assert_eq!(graph.len(), states.len(), "state vector must match graph size");
+        assert!(pid.index() < graph.len(), "processor out of range");
+        View { pid, graph, states }
+    }
+
+    /// The viewed processor's identifier.
+    #[inline]
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// The network topology.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The viewed processor's own state.
+    #[inline]
+    pub fn me(&self) -> &'a S {
+        &self.states[self.pid.index()]
+    }
+
+    /// The state of a specific processor.
+    ///
+    /// The model only permits reading neighbors (and oneself); callers in
+    /// protocol code should restrict themselves accordingly. Analysis and
+    /// checker code (which is outside the model) may read any processor.
+    #[inline]
+    pub fn state(&self, q: ProcId) -> &'a S {
+        &self.states[q.index()]
+    }
+
+    /// The viewed processor's neighbor identifiers, in the local order
+    /// `≻_p` (ascending [`ProcId`]).
+    #[inline]
+    pub fn neighbors(&self) -> pif_graph::Neighbors<'a> {
+        self.graph.neighbors(self.pid)
+    }
+
+    /// The neighbors together with their states, in local order.
+    ///
+    /// Takes `self` by value (`View` is `Copy`) so the iterator borrows
+    /// only the underlying configuration, not the view handle.
+    pub fn neighbor_states(self) -> impl Iterator<Item = (ProcId, &'a S)> {
+        let states = self.states;
+        self.graph.neighbors(self.pid).map(move |q| (q, &states[q.index()]))
+    }
+
+    /// Degree of the viewed processor.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.pid)
+    }
+
+    /// Number of processors in the network (the paper's `N`, an input to
+    /// the root's program).
+    #[inline]
+    pub fn network_size(&self) -> usize {
+        self.graph.len()
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for View<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("View").field("pid", &self.pid).field("state", self.me()).finish()
+    }
+}
+
+/// The per-step enabled-set snapshot handed to a [`crate::Daemon`].
+///
+/// Exposes which processors are enabled, which of their actions are enabled,
+/// and (for state-aware adversarial daemons) the full configuration.
+pub struct EnabledSet<'a, S> {
+    graph: &'a Graph,
+    states: &'a [S],
+    /// `actions[p]` lists the enabled actions of processor `p` (possibly empty).
+    actions: &'a [Vec<ActionId>],
+    /// Processors with at least one enabled action, ascending.
+    procs: &'a [ProcId],
+    /// Zero-based index of the step about to be executed.
+    step: u64,
+}
+
+impl<'a, S> EnabledSet<'a, S> {
+    pub(crate) fn new(
+        graph: &'a Graph,
+        states: &'a [S],
+        actions: &'a [Vec<ActionId>],
+        procs: &'a [ProcId],
+        step: u64,
+    ) -> Self {
+        EnabledSet { graph, states, actions, procs, step }
+    }
+
+    /// Processors with at least one enabled action, in ascending id order.
+    #[inline]
+    pub fn enabled_procs(&self) -> &'a [ProcId] {
+        self.procs
+    }
+
+    /// The enabled actions of processor `p` (empty if `p` is disabled).
+    #[inline]
+    pub fn actions_of(&self, p: ProcId) -> &'a [ActionId] {
+        &self.actions[p.index()]
+    }
+
+    /// Whether any processor is enabled.
+    #[inline]
+    pub fn is_terminal(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// The configuration the step will be evaluated against.
+    #[inline]
+    pub fn states(&self) -> &'a [S] {
+        self.states
+    }
+
+    /// The network topology.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Zero-based index of the computation step about to execute.
+    #[inline]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+}
+
+impl<S> fmt::Debug for EnabledSet<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnabledSet")
+            .field("step", &self.step)
+            .field("enabled", &self.procs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_graph::generators;
+
+    #[test]
+    fn view_exposes_local_window() {
+        let g = generators::chain(3).unwrap();
+        let states = vec![10, 20, 30];
+        let v = View::new(&g, &states, ProcId(1));
+        assert_eq!(*v.me(), 20);
+        assert_eq!(v.degree(), 2);
+        assert_eq!(v.network_size(), 3);
+        let ns: Vec<_> = v.neighbor_states().collect();
+        assert_eq!(ns, vec![(ProcId(0), &10), (ProcId(2), &30)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state vector must match")]
+    fn view_rejects_mismatched_states() {
+        let g = generators::chain(3).unwrap();
+        let states = vec![1, 2];
+        let _ = View::new(&g, &states, ProcId(0));
+    }
+
+    #[test]
+    fn action_id_display() {
+        assert_eq!(ActionId(4).to_string(), "a4");
+        assert_eq!(ActionId(4).index(), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Round accounting per the Dolev-Israeli-Moran definition used by the paper.
+//!
+//! Given a computation `e`, the **first round** of `e` is the minimal prefix
+//! `e'` containing the execution of one action — a protocol action *or the
+//! disable action* — of every processor that is continuously enabled from the
+//! first configuration of `e`. The second round is the first round of the
+//! remaining suffix, and so on.
+//!
+//! [`RoundCounter`] tracks this online: at the start of each round it
+//! snapshots the enabled processors; a processor leaves the pending set when
+//! it executes an action or becomes disabled (the disable action). When the
+//! pending set empties, the round is complete.
+
+use pif_graph::ProcId;
+
+/// Online round counter for one simulation run. Create it with the initial
+/// enabled set and feed it every computation step.
+///
+/// # Examples
+///
+/// ```
+/// use pif_daemon::rounds::RoundCounter;
+/// use pif_graph::ProcId;
+///
+/// // Processors 0 and 1 enabled initially.
+/// let mut rc = RoundCounter::new([true, true, false].iter().copied());
+/// assert_eq!(rc.completed(), 0);
+/// // p0 executes; p1 still pending: round not over.
+/// let done = rc.observe_step([ProcId(0)].iter().copied(), [true, true, false].iter().copied());
+/// assert!(!done);
+/// // p1 becomes disabled by a neighbor's move: disable action, round over.
+/// let done = rc.observe_step([ProcId(0)].iter().copied(), [true, false, false].iter().copied());
+/// assert!(done);
+/// assert_eq!(rc.completed(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoundCounter {
+    /// `pending[p]`: processor `p` was continuously enabled since the start
+    /// of the current round and has not yet executed (or been disabled).
+    pending: Vec<bool>,
+    pending_count: usize,
+    completed: u64,
+}
+
+impl RoundCounter {
+    /// Starts counting with the processors enabled in the initial
+    /// configuration.
+    pub fn new<I>(enabled: I) -> Self
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        let pending: Vec<bool> = enabled.into_iter().collect();
+        let pending_count = pending.iter().filter(|&&b| b).count();
+        RoundCounter { pending, pending_count, completed: 0 }
+    }
+
+    /// Number of fully completed rounds so far.
+    #[inline]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Processors still owed an action in the current round.
+    pub fn pending(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| ProcId::from_index(i))
+    }
+
+    /// Records one computation step: `executed` lists the processors that
+    /// executed a protocol action, `enabled_after` flags which processors are
+    /// enabled in the new configuration. Returns `true` when this step
+    /// completed one or more rounds (with an empty network of pending
+    /// processors, each step completes a round trivially).
+    pub fn observe_step<E, A>(&mut self, executed: E, enabled_after: A) -> bool
+    where
+        E: IntoIterator<Item = ProcId>,
+        A: IntoIterator<Item = bool> + Clone,
+    {
+        for p in executed {
+            self.clear(p.index());
+        }
+        // Disable action: pending processors that are no longer enabled.
+        for (i, en) in enabled_after.clone().into_iter().enumerate() {
+            if !en {
+                self.clear(i);
+            }
+        }
+        if self.pending_count == 0 {
+            self.completed += 1;
+            for (i, en) in enabled_after.into_iter().enumerate() {
+                self.pending[i] = en;
+                if en {
+                    self.pending_count += 1;
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        if self.pending[i] {
+            self.pending[i] = false;
+            self.pending_count -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(bits: &[u8]) -> Vec<bool> {
+        bits.iter().map(|&b| b != 0).collect()
+    }
+
+    #[test]
+    fn synchronous_execution_is_one_round_per_step() {
+        // Everyone enabled, everyone executes each step.
+        let mut rc = RoundCounter::new(flags(&[1, 1, 1]));
+        for step in 1..=5u64 {
+            let done = rc.observe_step(
+                (0..3).map(ProcId),
+                flags(&[1, 1, 1]),
+            );
+            assert!(done);
+            assert_eq!(rc.completed(), step);
+        }
+    }
+
+    #[test]
+    fn central_daemon_round_needs_every_pending_proc() {
+        let mut rc = RoundCounter::new(flags(&[1, 1, 1]));
+        assert!(!rc.observe_step([ProcId(0)], flags(&[1, 1, 1])));
+        assert!(!rc.observe_step([ProcId(1)], flags(&[1, 1, 1])));
+        assert!(rc.observe_step([ProcId(2)], flags(&[1, 1, 1])));
+        assert_eq!(rc.completed(), 1);
+    }
+
+    #[test]
+    fn disable_action_counts() {
+        let mut rc = RoundCounter::new(flags(&[1, 1]));
+        // p0 executes, and its move disables p1: both accounted, round done.
+        assert!(rc.observe_step([ProcId(0)], flags(&[0, 0])));
+        assert_eq!(rc.completed(), 1);
+    }
+
+    #[test]
+    fn newly_enabled_mid_round_not_owed() {
+        // p2 becomes enabled mid-round; the round only waits for p0 and p1.
+        let mut rc = RoundCounter::new(flags(&[1, 1, 0]));
+        assert!(!rc.observe_step([ProcId(0)], flags(&[1, 1, 1])));
+        assert!(rc.observe_step([ProcId(1)], flags(&[1, 1, 1])));
+        assert_eq!(rc.completed(), 1);
+        // Next round owes all three.
+        let pending: Vec<_> = rc.pending().collect();
+        assert_eq!(pending.len(), 3);
+    }
+
+    #[test]
+    fn terminal_configuration_rounds_are_trivial() {
+        let mut rc = RoundCounter::new(flags(&[0, 0]));
+        // No one pending: every observation closes a (vacuous) round.
+        assert!(rc.observe_step(std::iter::empty(), flags(&[0, 0])));
+        assert_eq!(rc.completed(), 1);
+    }
+
+    #[test]
+    fn re_enabled_processor_is_not_owed_until_next_round() {
+        let mut rc = RoundCounter::new(flags(&[1, 1, 1]));
+        // p1 gets disabled (leaves pending via the disable action), then
+        // re-enabled: the current round must not wait for it again, only
+        // for p2.
+        assert!(!rc.observe_step([ProcId(0)], flags(&[1, 0, 1])));
+        assert!(!rc.observe_step([ProcId(0)], flags(&[1, 1, 1])));
+        let pending: Vec<_> = rc.pending().collect();
+        assert_eq!(pending, vec![ProcId(2)]);
+        assert!(rc.observe_step([ProcId(2)], flags(&[1, 1, 1])));
+        assert_eq!(rc.completed(), 1);
+    }
+}

@@ -1,0 +1,583 @@
+use pif_graph::{Graph, ProcId};
+
+use crate::rounds::RoundCounter;
+use crate::{ActionId, Daemon, EnabledSet, Protocol, SimError, View};
+
+/// Budget limits for a simulation run.
+///
+/// Budgets protect against non-terminating executions (possible from
+/// arbitrary configurations of a buggy protocol); exceeding one is reported
+/// as a [`SimError`], never a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Maximum computation steps.
+    pub max_steps: u64,
+    /// Maximum completed rounds.
+    pub max_rounds: u64,
+}
+
+impl RunLimits {
+    /// Limits suitable for most experiments: one million steps, one hundred
+    /// thousand rounds.
+    pub const fn generous() -> Self {
+        RunLimits { max_steps: 1_000_000, max_rounds: 100_000 }
+    }
+
+    /// Builds explicit limits.
+    pub const fn new(max_steps: u64, max_rounds: u64) -> Self {
+        RunLimits { max_steps, max_rounds }
+    }
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        Self::generous()
+    }
+}
+
+/// Statistics of a finished (or truncated) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Computation steps executed.
+    pub steps: u64,
+    /// Rounds completed (Dolev-Israeli-Moran definition).
+    pub rounds: u64,
+    /// Whether the final configuration is terminal (no enabled processor).
+    pub terminal: bool,
+}
+
+/// Outcome of a single computation step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepReport {
+    /// The `(processor, action)` pairs that executed.
+    pub executed: Vec<(ProcId, ActionId)>,
+    /// Whether this step completed a round.
+    pub round_completed: bool,
+    /// Whether the *new* configuration is terminal.
+    pub terminal: bool,
+}
+
+/// Observer of executed actions, used to maintain protocol-external overlays
+/// (message registers, delivery logs, invariant monitors) in lockstep with
+/// the simulation.
+///
+/// `before` and `after` are the configurations around the step; `executed`
+/// lists the chosen `(processor, action)` pairs.
+pub trait Observer<P: Protocol> {
+    /// Called once per computation step, after the new configuration is in
+    /// place.
+    fn step(
+        &mut self,
+        graph: &Graph,
+        before: &[P::State],
+        after: &[P::State],
+        executed: &[(ProcId, ActionId)],
+    );
+}
+
+/// The no-op observer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoOpObserver;
+
+impl<P: Protocol> Observer<P> for NoOpObserver {
+    fn step(&mut self, _: &Graph, _: &[P::State], _: &[P::State], _: &[(ProcId, ActionId)]) {}
+}
+
+/// Simulator for a [`Protocol`] over a network, under a pluggable
+/// [`Daemon`], with round accounting per the paper's definition.
+///
+/// The simulator owns the configuration (one state per processor) and
+/// advances it one *computation step* at a time: it computes the enabled set,
+/// asks the daemon for a non-empty selection, evaluates every selected
+/// action against the old configuration, and applies all updates at once.
+///
+/// See the [crate documentation](crate) for a complete example.
+#[derive(Clone, Debug)]
+pub struct Simulator<P: Protocol> {
+    graph: Graph,
+    protocol: P,
+    states: Vec<P::State>,
+    enabled: Vec<Vec<ActionId>>,
+    enabled_procs: Vec<ProcId>,
+    steps: u64,
+    rounds: RoundCounter,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator in the given initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len() != graph.len()`.
+    pub fn new(graph: Graph, protocol: P, init: Vec<P::State>) -> Self {
+        assert_eq!(graph.len(), init.len(), "initial configuration must cover every processor");
+        let mut sim = Simulator {
+            enabled: vec![Vec::new(); graph.len()],
+            enabled_procs: Vec::new(),
+            graph,
+            protocol,
+            states: init,
+            steps: 0,
+            rounds: RoundCounter::new(std::iter::repeat_n(false, 0)),
+        };
+        sim.recompute_enabled();
+        sim.rounds = RoundCounter::new(sim.enabled.iter().map(|a| !a.is_empty()));
+        sim
+    }
+
+    /// The network topology.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The protocol under simulation.
+    #[inline]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current configuration.
+    #[inline]
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The current state of one processor.
+    #[inline]
+    pub fn state(&self, p: ProcId) -> &P::State {
+        &self.states[p.index()]
+    }
+
+    /// Overwrites the configuration (e.g. to inject faults mid-run) and
+    /// recomputes the enabled set. Round accounting restarts from the new
+    /// configuration.
+    pub fn set_states(&mut self, states: Vec<P::State>) {
+        assert_eq!(self.graph.len(), states.len());
+        self.states = states;
+        self.recompute_enabled();
+        self.rounds = RoundCounter::new(self.enabled.iter().map(|a| !a.is_empty()));
+    }
+
+    /// Overwrites a single processor's state (fault injection) and
+    /// recomputes bookkeeping, restarting round accounting.
+    pub fn corrupt(&mut self, p: ProcId, state: P::State) {
+        self.states[p.index()] = state;
+        self.recompute_enabled();
+        self.rounds = RoundCounter::new(self.enabled.iter().map(|a| !a.is_empty()));
+    }
+
+    /// Computation steps executed so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Rounds completed so far.
+    #[inline]
+    pub fn rounds(&self) -> u64 {
+        self.rounds.completed()
+    }
+
+    /// Whether the current configuration is terminal (no enabled action on
+    /// any processor).
+    #[inline]
+    pub fn is_terminal(&self) -> bool {
+        self.enabled_procs.is_empty()
+    }
+
+    /// Processors currently enabled, ascending.
+    #[inline]
+    pub fn enabled_procs(&self) -> &[ProcId] {
+        &self.enabled_procs
+    }
+
+    /// Enabled actions of processor `p` in the current configuration.
+    #[inline]
+    pub fn enabled_actions(&self, p: ProcId) -> &[ActionId] {
+        &self.enabled[p.index()]
+    }
+
+    /// A read view of processor `p` in the current configuration.
+    pub fn view(&self, p: ProcId) -> View<'_, P::State> {
+        View::new(&self.graph, &self.states, p)
+    }
+
+    /// Executes one computation step under `daemon`, reporting what ran.
+    /// In a terminal configuration this is a no-op returning an empty
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidSelection`] if the daemon violated the model's
+    /// contract (selected a disabled processor, a non-enabled action, a
+    /// duplicate, or nothing at all while processors were enabled).
+    pub fn step(&mut self, daemon: &mut dyn Daemon<P::State>) -> Result<StepReport, SimError> {
+        self.step_observed(daemon, &mut NoOpObserver)
+    }
+
+    /// Like [`Simulator::step`], additionally notifying `observer`.
+    pub fn step_observed(
+        &mut self,
+        daemon: &mut dyn Daemon<P::State>,
+        observer: &mut dyn Observer<P>,
+    ) -> Result<StepReport, SimError> {
+        if self.is_terminal() {
+            return Ok(StepReport { executed: Vec::new(), round_completed: false, terminal: true });
+        }
+        let mut selection = Vec::new();
+        {
+            let snapshot = EnabledSet::new(
+                &self.graph,
+                &self.states,
+                &self.enabled,
+                &self.enabled_procs,
+                self.steps,
+            );
+            daemon.select(&snapshot, &mut selection);
+        }
+        self.validate_selection(&selection)?;
+
+        // Evaluate all selected actions against the OLD configuration, then
+        // apply simultaneously (composite atomicity, distributed daemon).
+        let mut updates = Vec::with_capacity(selection.len());
+        for &(p, a) in &selection {
+            let view = View::new(&self.graph, &self.states, p);
+            updates.push((p, self.protocol.execute(view, a)));
+        }
+        let before = self.states.clone();
+        for (p, s) in updates {
+            self.states[p.index()] = s;
+        }
+        self.steps += 1;
+        self.recompute_enabled_after(&selection);
+        observer.step(&self.graph, &before, &self.states, &selection);
+
+        let round_completed = self.rounds.observe_step(
+            selection.iter().map(|&(p, _)| p),
+            self.enabled.iter().map(|a| !a.is_empty()),
+        );
+        Ok(StepReport { executed: selection, round_completed, terminal: self.is_terminal() })
+    }
+
+    /// Runs until `target` holds (checked before every step), the
+    /// configuration is terminal, or a budget is exhausted.
+    ///
+    /// Returns statistics at the moment the predicate first held (or the
+    /// terminal configuration was reached — check `terminal` and re-test the
+    /// predicate to distinguish).
+    ///
+    /// # Errors
+    ///
+    /// Budget errors ([`SimError::MaxStepsExceeded`],
+    /// [`SimError::MaxRoundsExceeded`]) or daemon contract violations.
+    pub fn run_until<F>(
+        &mut self,
+        daemon: &mut dyn Daemon<P::State>,
+        limits: RunLimits,
+        mut target: F,
+    ) -> Result<RunStats, SimError>
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        self.run_until_observed(daemon, &mut NoOpObserver, limits, &mut target)
+    }
+
+    /// Like [`Simulator::run_until`] with an [`Observer`].
+    pub fn run_until_observed(
+        &mut self,
+        daemon: &mut dyn Daemon<P::State>,
+        observer: &mut dyn Observer<P>,
+        limits: RunLimits,
+        target: &mut dyn FnMut(&Self) -> bool,
+    ) -> Result<RunStats, SimError> {
+        let start_steps = self.steps;
+        let start_rounds = self.rounds.completed();
+        loop {
+            if target(self) {
+                return Ok(self.stats_since(start_steps, start_rounds));
+            }
+            if self.is_terminal() {
+                return Ok(self.stats_since(start_steps, start_rounds));
+            }
+            if self.steps - start_steps >= limits.max_steps {
+                return Err(SimError::MaxStepsExceeded {
+                    steps: self.steps - start_steps,
+                    rounds: self.rounds.completed() - start_rounds,
+                });
+            }
+            if self.rounds.completed() - start_rounds >= limits.max_rounds {
+                return Err(SimError::MaxRoundsExceeded {
+                    steps: self.steps - start_steps,
+                    rounds: self.rounds.completed() - start_rounds,
+                });
+            }
+            self.step_observed(daemon, observer)?;
+        }
+    }
+
+    /// Runs until the configuration is terminal (no enabled processor).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_until`].
+    pub fn run_to_fixpoint(
+        &mut self,
+        daemon: &mut dyn Daemon<P::State>,
+        limits: RunLimits,
+    ) -> Result<RunStats, SimError> {
+        self.run_until(daemon, limits, |_| false)
+    }
+
+    fn stats_since(&self, start_steps: u64, start_rounds: u64) -> RunStats {
+        RunStats {
+            steps: self.steps - start_steps,
+            rounds: self.rounds.completed() - start_rounds,
+            terminal: self.is_terminal(),
+        }
+    }
+
+    fn validate_selection(&self, selection: &[(ProcId, ActionId)]) -> Result<(), SimError> {
+        if selection.is_empty() {
+            return Err(SimError::InvalidSelection {
+                reason: "empty selection while processors are enabled".into(),
+                proc: None,
+                action: None,
+            });
+        }
+        let mut seen = vec![false; self.graph.len()];
+        for &(p, a) in selection {
+            if p.index() >= self.graph.len() {
+                return Err(SimError::InvalidSelection {
+                    reason: "processor out of range".into(),
+                    proc: Some(p),
+                    action: Some(a),
+                });
+            }
+            if seen[p.index()] {
+                return Err(SimError::InvalidSelection {
+                    reason: "processor selected twice".into(),
+                    proc: Some(p),
+                    action: Some(a),
+                });
+            }
+            seen[p.index()] = true;
+            if !self.enabled[p.index()].contains(&a) {
+                return Err(SimError::InvalidSelection {
+                    reason: "action not enabled for processor".into(),
+                    proc: Some(p),
+                    action: Some(a),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn recompute_enabled(&mut self) {
+        let mut buf = Vec::new();
+        for p in self.graph.procs() {
+            buf.clear();
+            let view = View::new(&self.graph, &self.states, p);
+            self.protocol.enabled_actions(view, &mut buf);
+            self.enabled[p.index()].clear();
+            self.enabled[p.index()].extend_from_slice(&buf);
+        }
+        self.rebuild_enabled_procs();
+    }
+
+    /// Recomputes enabled actions only where they can have changed: the
+    /// executed processors and their neighbors (guards read only the local
+    /// neighborhood).
+    fn recompute_enabled_after(&mut self, executed: &[(ProcId, ActionId)]) {
+        let mut dirty = vec![false; self.graph.len()];
+        for &(p, _) in executed {
+            dirty[p.index()] = true;
+            for q in self.graph.neighbors(p) {
+                dirty[q.index()] = true;
+            }
+        }
+        let mut buf = Vec::new();
+        for p in self.graph.procs() {
+            if !dirty[p.index()] {
+                continue;
+            }
+            buf.clear();
+            let view = View::new(&self.graph, &self.states, p);
+            self.protocol.enabled_actions(view, &mut buf);
+            self.enabled[p.index()].clear();
+            self.enabled[p.index()].extend_from_slice(&buf);
+        }
+        self.rebuild_enabled_procs();
+    }
+
+    fn rebuild_enabled_procs(&mut self) {
+        self.enabled_procs.clear();
+        for p in self.graph.procs() {
+            if !self.enabled[p.index()].is_empty() {
+                self.enabled_procs.push(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemons::{CentralSequential, Synchronous};
+    use pif_graph::generators;
+
+    /// Token-passing toy protocol on a chain: a processor holding a value
+    /// greater than its right neighbor's pushes the excess right.
+    struct PushRight;
+
+    impl Protocol for PushRight {
+        type State = i32;
+        fn action_names(&self) -> &'static [&'static str] {
+            &["push"]
+        }
+        fn enabled_actions(&self, view: View<'_, i32>, out: &mut Vec<ActionId>) {
+            // Enabled iff some neighbor with larger id has a smaller value.
+            if view.neighbor_states().any(|(q, &s)| q > view.pid() && s < *view.me()) {
+                out.push(ActionId(0));
+            }
+        }
+        fn execute(&self, view: View<'_, i32>, _: ActionId) -> i32 {
+            *view.me() - 1
+        }
+    }
+
+    #[test]
+    fn fixpoint_on_monotone_protocol() {
+        let g = generators::chain(4).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![3, 0, 0, 0]);
+        let stats = sim
+            .run_to_fixpoint(&mut Synchronous::first_action(), RunLimits::default())
+            .unwrap();
+        assert!(stats.terminal);
+        assert!(sim.is_terminal());
+        assert_eq!(sim.state(ProcId(0)), &0);
+    }
+
+    #[test]
+    fn step_on_terminal_configuration_is_noop() {
+        let g = generators::chain(2).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![0, 0]);
+        assert!(sim.is_terminal());
+        let rep = sim.step(&mut Synchronous::first_action()).unwrap();
+        assert!(rep.terminal);
+        assert!(rep.executed.is_empty());
+        assert_eq!(sim.steps(), 0);
+    }
+
+    #[test]
+    fn central_daemon_executes_one_processor_per_step() {
+        let g = generators::chain(4).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![5, 5, 5, 0]);
+        let mut d = CentralSequential::new();
+        let rep = sim.step(&mut d).unwrap();
+        assert_eq!(rep.executed.len(), 1);
+    }
+
+    #[test]
+    fn rounds_advance_under_synchronous_daemon() {
+        let g = generators::chain(3).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![2, 2, 0]);
+        let stats = sim
+            .run_to_fixpoint(&mut Synchronous::first_action(), RunLimits::default())
+            .unwrap();
+        // Under the synchronous daemon every step closes a round.
+        assert_eq!(stats.steps, stats.rounds);
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let g = generators::chain(4).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![9, 0, 0, 0]);
+        let stats = sim
+            .run_until(&mut Synchronous::first_action(), RunLimits::default(), |s| {
+                s.state(ProcId(0)) <= &5
+            })
+            .unwrap();
+        assert!(stats.steps > 0);
+        assert_eq!(sim.state(ProcId(0)), &5);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error() {
+        let g = generators::chain(4).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![1000, 0, 0, 0]);
+        let err = sim
+            .run_to_fixpoint(&mut Synchronous::first_action(), RunLimits::new(5, 1000))
+            .unwrap_err();
+        assert!(matches!(err, SimError::MaxStepsExceeded { steps: 5, .. }));
+    }
+
+    #[test]
+    fn invalid_daemon_is_reported() {
+        struct BadDaemon;
+        impl Daemon<i32> for BadDaemon {
+            fn select(
+                &mut self,
+                _: &EnabledSet<'_, i32>,
+                _: &mut Vec<(ProcId, ActionId)>,
+            ) {
+            }
+        }
+        let g = generators::chain(2).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![5, 0]);
+        let err = sim.step(&mut BadDaemon).unwrap_err();
+        assert!(matches!(err, SimError::InvalidSelection { .. }));
+    }
+
+    #[test]
+    fn corrupt_restarts_round_accounting() {
+        let g = generators::chain(3).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![0, 0, 0]);
+        assert!(sim.is_terminal());
+        sim.corrupt(ProcId(0), 7);
+        assert!(!sim.is_terminal());
+        assert_eq!(sim.enabled_procs(), &[ProcId(0)]);
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        struct Counter(u64);
+        impl Observer<PushRight> for Counter {
+            fn step(&mut self, _: &Graph, _: &[i32], _: &[i32], ex: &[(ProcId, ActionId)]) {
+                self.0 += ex.len() as u64;
+            }
+        }
+        let g = generators::chain(3).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![2, 1, 0]);
+        let mut obs = Counter(0);
+        let mut target = |_: &Simulator<PushRight>| false;
+        sim.run_until_observed(
+            &mut Synchronous::first_action(),
+            &mut obs,
+            RunLimits::default(),
+            &mut target,
+        )
+        .unwrap();
+        assert!(obs.0 > 0);
+    }
+
+    #[test]
+    fn dirty_set_recompute_matches_full_recompute() {
+        let g = generators::torus(3, 3).unwrap();
+        let init: Vec<i32> = (0..9).map(|i| i * 7 % 5).collect();
+        let mut sim = Simulator::new(g.clone(), PushRight, init.clone());
+        let mut d = CentralSequential::new();
+        for _ in 0..20 {
+            if sim.is_terminal() {
+                break;
+            }
+            sim.step(&mut d).unwrap();
+            // Reference: recompute everything from scratch.
+            let fresh = Simulator::new(g.clone(), PushRight, sim.states().to_vec());
+            assert_eq!(sim.enabled_procs(), fresh.enabled_procs());
+            for p in g.procs() {
+                assert_eq!(sim.enabled_actions(p), fresh.enabled_actions(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+use std::collections::BTreeSet;
+
+use crate::{Graph, GraphError, ProcId};
+
+/// Incremental builder for [`Graph`] values.
+///
+/// Collects undirected edges and validates the whole topology at
+/// [`GraphBuilder::build`] time: endpoints in range, no self-loops,
+/// connectivity. Duplicate edges (in either orientation) are collapsed.
+///
+/// # Examples
+///
+/// ```
+/// use pif_graph::{GraphBuilder, ProcId};
+///
+/// # fn main() -> Result<(), pif_graph::GraphError> {
+/// let mut b = GraphBuilder::new(4);
+/// b.edge(ProcId(0), ProcId(1))
+///     .edge(ProcId(1), ProcId(2))
+///     .edge(ProcId(2), ProcId(3));
+/// let g = b.name("path").build()?;
+/// assert_eq!(g.name(), "path");
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(ProcId, ProcId)>,
+    name: String,
+}
+
+impl GraphBuilder {
+    /// Starts building a graph over `n` processors (identified `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: BTreeSet::new(), name: String::new() }
+    }
+
+    /// Adds the undirected link `{u, v}`. Order of endpoints is irrelevant;
+    /// duplicates are ignored. Validation happens at [`GraphBuilder::build`].
+    pub fn edge(&mut self, u: ProcId, v: ProcId) -> &mut Self {
+        let key = if u <= v { (u, v) } else { (v, u) };
+        self.edges.insert(key);
+        self
+    }
+
+    /// Adds a batch of undirected links given as index pairs.
+    pub fn edges<I>(&mut self, iter: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        for (u, v) in iter {
+            self.edge(ProcId(u), ProcId(v));
+        }
+        self
+    }
+
+    /// Sets the display name recorded on the built graph.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of distinct edges currently collected.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates the collected topology and produces the immutable [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::Empty`] if `n == 0`;
+    /// * [`GraphError::SelfLoop`] if any edge `{p, p}` was added;
+    /// * [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`;
+    /// * [`GraphError::Disconnected`] if some processor is unreachable from
+    ///   processor `0`.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        for &(u, v) in &self.edges {
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            if u.index() >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+            }
+            if v.index() >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+            }
+        }
+
+        // Degree counting pass, then CSR fill.
+        let mut degree = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut adjacency = vec![ProcId(0); 2 * self.edges.len()];
+        for &(u, v) in &self.edges {
+            adjacency[cursor[u.index()] as usize] = v;
+            cursor[u.index()] += 1;
+            adjacency[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        for p in 0..self.n {
+            adjacency[offsets[p] as usize..offsets[p + 1] as usize].sort_unstable();
+        }
+
+        let graph = Graph::from_csr(offsets, adjacency, self.name.clone());
+
+        // Connectivity: BFS from processor 0.
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(ProcId(0));
+        while let Some(p) = queue.pop_front() {
+            for q in graph.neighbors(p) {
+                if !seen[q.index()] {
+                    seen[q.index()] = true;
+                    queue.push_back(q);
+                }
+            }
+        }
+        if let Some(i) = seen.iter().position(|&s| !s) {
+            return Err(GraphError::Disconnected { witness: ProcId::from_index(i) });
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collapses_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(ProcId(0), ProcId(1));
+        b.edge(ProcId(1), ProcId(0));
+        b.edge(ProcId(1), ProcId(2));
+        assert_eq!(b.edge_count(), 2);
+        assert_eq!(b.build().unwrap().edge_count(), 2);
+    }
+
+    #[test]
+    fn builder_validates_lazily() {
+        // Adding a bad edge does not error until build().
+        let mut b = GraphBuilder::new(2);
+        b.edge(ProcId(0), ProcId(0));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn csr_neighbor_lists_are_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.edges([(0, 4), (0, 2), (0, 1), (0, 3), (1, 2), (2, 3), (3, 4)]);
+        let g = b.build().unwrap();
+        for p in g.procs() {
+            let ns = g.neighbor_slice(p);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted at {p}");
+        }
+    }
+
+    #[test]
+    fn batch_edges_helper() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn disconnected_witness_is_reported() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(ProcId(0), ProcId(1));
+        match b.build().unwrap_err() {
+            GraphError::Disconnected { witness } => assert_eq!(witness, ProcId(2)),
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Elementary chordless paths.
+//!
+//! Theorem 4 of the paper bounds the height `h` of the tree built during the
+//! PIF broadcast phase by the length of the longest *elementary chordless
+//! path* in the network: a path `p_0, …, p_k` where all processors are
+//! distinct (elementary) and `p_i`, `p_j` are linked iff `j = i + 1`
+//! (chordless). The proof hinges on the `Potential_p` macro only ever
+//! creating chordless parent paths.
+//!
+//! This module verifies chordlessness of concrete paths and computes the
+//! longest chordless path exactly via a budgeted depth-first search.
+
+use crate::{Graph, ProcId};
+
+/// Whether `path` is an elementary chordless path of `g`.
+///
+/// Requirements checked: all nodes distinct, consecutive nodes adjacent, and
+/// *no* chord — non-consecutive nodes must not be adjacent. The empty path
+/// and single-node paths are trivially chordless.
+///
+/// # Examples
+///
+/// ```
+/// use pif_graph::{chordless, generators, ProcId};
+///
+/// # fn main() -> Result<(), pif_graph::GraphError> {
+/// let g = generators::ring(5)?;
+/// assert!(chordless::is_chordless(&g, &[ProcId(0), ProcId(1), ProcId(2)]));
+/// // 0-1-2-3-4 closes the ring: 0 and 4 are adjacent, i.e. a chord.
+/// let full: Vec<_> = (0..5).map(ProcId).collect();
+/// assert!(!chordless::is_chordless(&g, &full));
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_chordless(g: &Graph, path: &[ProcId]) -> bool {
+    let k = path.len();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if path[i] == path[j] {
+                return false;
+            }
+            let adjacent = g.has_edge(path[i], path[j]);
+            if j == i + 1 {
+                if !adjacent {
+                    return false;
+                }
+            } else if adjacent {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Result of a longest-chordless-path search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChordlessSearch {
+    /// A longest chordless path found (node sequence).
+    pub path: Vec<ProcId>,
+    /// Whether the search explored the full space (`true`) or hit its
+    /// visit budget and may be an underestimate (`false`).
+    pub exact: bool,
+    /// Number of DFS extensions explored.
+    pub visits: u64,
+}
+
+impl ChordlessSearch {
+    /// Length (number of edges) of the found path.
+    pub fn length(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Longest elementary chordless path starting at `start`, found by
+/// depth-first search with at most `budget` extensions.
+///
+/// The search is exact when it completes within the budget (see
+/// [`ChordlessSearch::exact`]); otherwise the returned path is the longest
+/// found so far (a valid lower bound).
+pub fn longest_from(g: &Graph, start: ProcId, budget: u64) -> ChordlessSearch {
+    let mut state = Dfs {
+        g,
+        on_path: vec![false; g.len()],
+        path: vec![start],
+        best: vec![start],
+        visits: 0,
+        budget,
+        exhausted: false,
+    };
+    state.on_path[start.index()] = true;
+    state.run();
+    ChordlessSearch { path: state.best, exact: !state.exhausted, visits: state.visits }
+}
+
+/// Longest elementary chordless path over all start nodes.
+///
+/// `budget` is shared across all starts. Exact iff no start hit the budget.
+pub fn longest(g: &Graph, budget: u64) -> ChordlessSearch {
+    let mut best = ChordlessSearch { path: Vec::new(), exact: true, visits: 0 };
+    let mut remaining = budget;
+    for p in g.procs() {
+        let r = longest_from(g, p, remaining);
+        remaining = remaining.saturating_sub(r.visits);
+        best.visits += r.visits;
+        if r.path.len() > best.path.len() {
+            best.path = r.path.clone();
+        }
+        if !r.exact {
+            best.exact = false;
+        }
+        if remaining == 0 {
+            best.exact = false;
+            break;
+        }
+    }
+    best
+}
+
+struct Dfs<'a> {
+    g: &'a Graph,
+    on_path: Vec<bool>,
+    path: Vec<ProcId>,
+    best: Vec<ProcId>,
+    visits: u64,
+    budget: u64,
+    exhausted: bool,
+}
+
+impl Dfs<'_> {
+    fn run(&mut self) {
+        if self.visits >= self.budget {
+            self.exhausted = true;
+            return;
+        }
+        self.visits += 1;
+        let tip = *self.path.last().expect("path never empty");
+        let mut extended = false;
+        for q in self.g.neighbors(tip) {
+            if self.on_path[q.index()] || !self.extends_chordless(q) {
+                continue;
+            }
+            extended = true;
+            self.on_path[q.index()] = true;
+            self.path.push(q);
+            self.run();
+            self.path.pop();
+            self.on_path[q.index()] = false;
+            if self.exhausted {
+                return;
+            }
+        }
+        if !extended && self.path.len() > self.best.len() {
+            self.best = self.path.clone();
+        }
+        // Even when extended, a prefix could still be the global best if all
+        // extensions later prune; record it too.
+        if self.path.len() > self.best.len() {
+            self.best = self.path.clone();
+        }
+    }
+
+    /// `q` extends the current path chordlessly iff `q` is adjacent to the
+    /// tip (guaranteed by the caller) and to no other path node.
+    fn extends_chordless(&self, q: ProcId) -> bool {
+        let k = self.path.len();
+        self.path[..k - 1].iter().all(|&u| !self.g.has_edge(u, q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    const BUDGET: u64 = 10_000_000;
+
+    #[test]
+    fn chain_longest_is_whole_chain() {
+        let g = generators::chain(9).unwrap();
+        let r = longest(&g, BUDGET);
+        assert!(r.exact);
+        assert_eq!(r.length(), 8);
+        assert!(is_chordless(&g, &r.path));
+    }
+
+    #[test]
+    fn complete_graph_longest_is_single_edge() {
+        let g = generators::complete(8).unwrap();
+        let r = longest(&g, BUDGET);
+        assert!(r.exact);
+        assert_eq!(r.length(), 1, "any 2 edges in K_n have a chord");
+    }
+
+    #[test]
+    fn ring_longest_is_n_minus_2_edges() {
+        // On a cycle C_n the longest chordless path uses n-1 nodes (closing
+        // it would create the chord between the endpoints).
+        let g = generators::ring(8).unwrap();
+        let r = longest(&g, BUDGET);
+        assert!(r.exact);
+        assert_eq!(r.length(), 6);
+    }
+
+    #[test]
+    fn star_longest_is_two_edges() {
+        let g = generators::star(10).unwrap();
+        let r = longest(&g, BUDGET);
+        assert_eq!(r.length(), 2, "leaf-hub-leaf");
+    }
+
+    #[test]
+    fn found_paths_are_always_chordless() {
+        for t in crate::Topology::standard_suite() {
+            let g = t.build().unwrap();
+            let r = longest(&g, 200_000);
+            assert!(is_chordless(&g, &r.path), "non-chordless result on {t:?}");
+            assert!(!r.path.is_empty());
+        }
+    }
+
+    #[test]
+    fn longest_from_respects_start() {
+        let g = generators::chain(5).unwrap();
+        let r = longest_from(&g, ProcId(2), BUDGET);
+        assert_eq!(r.path[0], ProcId(2));
+        assert_eq!(r.length(), 2, "from the middle, best reaches one end");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let g = generators::complete(12).unwrap();
+        let r = longest(&g, 5);
+        assert!(!r.exact);
+        assert!(is_chordless(&g, &r.path));
+    }
+
+    #[test]
+    fn is_chordless_rejects_non_paths() {
+        let g = generators::chain(4).unwrap();
+        // Non-adjacent consecutive nodes.
+        assert!(!is_chordless(&g, &[ProcId(0), ProcId(2)]));
+        // Repeated node.
+        assert!(!is_chordless(&g, &[ProcId(0), ProcId(1), ProcId(0)]));
+        // Trivial paths are fine.
+        assert!(is_chordless(&g, &[]));
+        assert!(is_chordless(&g, &[ProcId(3)]));
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = generators::singleton();
+        let r = longest(&g, BUDGET);
+        assert_eq!(r.length(), 0);
+        assert!(r.exact);
+    }
+}

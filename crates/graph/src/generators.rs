@@ -1,0 +1,749 @@
+//! Topology families used throughout the experiment harness.
+//!
+//! Every generator returns a validated, connected [`Graph`] carrying a
+//! descriptive name (e.g. `"torus(4x4)"`). Random families take an explicit
+//! seed so workloads are reproducible.
+//!
+//! The [`Topology`] enum is a serializable description of a family instance,
+//! convenient for writing parameter sweeps.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Graph, GraphBuilder, GraphError, ProcId};
+
+/// A single processor with no links. The smallest valid network (`N = 1`).
+pub fn singleton() -> Graph {
+    GraphBuilder::new(1).name("singleton").build().expect("singleton is always valid")
+}
+
+/// A chain (path graph) `p0 - p1 - … - p{n-1}`.
+///
+/// The chain maximizes the diameter for a given `N`, so it exercises the
+/// worst case of the paper's `5h + 5` round bound (Theorem 4).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Empty`] if `n == 0`.
+pub fn chain(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.edge(ProcId::from_index(i - 1), ProcId::from_index(i));
+    }
+    b.name(format!("chain({n})")).build()
+}
+
+/// A ring (cycle graph) of `n ≥ 3` processors.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn ring(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter { reason: format!("ring needs n >= 3, got {n}") });
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.edge(ProcId::from_index(i), ProcId::from_index((i + 1) % n));
+    }
+    b.name(format!("ring({n})")).build()
+}
+
+/// A star: processor `0` is the hub, all others are leaves.
+///
+/// Stars minimize the height of the broadcast tree (`h ≤ 1` when rooted at
+/// the hub, `h ≤ 2` otherwise), giving the fastest PIF cycles.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter { reason: format!("star needs n >= 2, got {n}") });
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.edge(ProcId(0), ProcId::from_index(i));
+    }
+    b.name(format!("star({n})")).build()
+}
+
+/// The complete graph `K_n`: every pair of processors is linked.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Empty`] if `n == 0`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.edge(ProcId::from_index(i), ProcId::from_index(j));
+        }
+    }
+    b.name(format!("complete({n})")).build()
+}
+
+/// A complete `k`-ary tree with `n` nodes, rooted at processor `0`
+/// (node `i > 0` has parent `(i - 1) / k`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k == 0`, or
+/// [`GraphError::Empty`] if `n == 0`.
+pub fn kary_tree(n: usize, k: usize) -> Result<Graph, GraphError> {
+    if k == 0 {
+        return Err(GraphError::InvalidParameter { reason: "tree arity k must be >= 1".into() });
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.edge(ProcId::from_index(i), ProcId::from_index((i - 1) / k));
+    }
+    b.name(format!("{k}ary-tree({n})")).build()
+}
+
+/// A uniformly random labelled tree on `n` nodes (random Prüfer sequence).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Empty`] if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n <= 2 {
+        return chain(n).map(|g| g.with_name(format!("random-tree({n},s{seed})")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &x in &prufer {
+        degree[x] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Standard Prüfer decoding: repeatedly join the smallest current leaf to
+    // the next sequence element.
+    let mut leaves: std::collections::BTreeSet<usize> =
+        (0..n).filter(|&i| degree[i] == 1).collect();
+    for &x in &prufer {
+        let u = *leaves.iter().next().expect("a tree always has a leaf");
+        leaves.remove(&u);
+        b.edge(ProcId::from_index(u), ProcId::from_index(x));
+        degree[x] -= 1;
+        if degree[x] == 1 {
+            leaves.insert(x);
+        }
+    }
+    // The two remaining leaves form the last edge.
+    let mut it = leaves.iter();
+    let (&u, &v) = (it.next().expect("two leaves remain"), it.next().expect("two leaves remain"));
+    b.edge(ProcId::from_index(u), ProcId::from_index(v));
+    b.name(format!("random-tree({n},s{seed})")).build()
+}
+
+/// A `w × h` grid (mesh) with 4-neighborhood.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is zero.
+pub fn grid(w: usize, h: usize) -> Result<Graph, GraphError> {
+    if w == 0 || h == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("grid dimensions must be positive, got {w}x{h}"),
+        });
+    }
+    let idx = |x: usize, y: usize| ProcId::from_index(y * w + x);
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.edge(idx(x, y), idx(x + 1, y));
+            }
+            if y + 1 < h {
+                b.edge(idx(x, y), idx(x, y + 1));
+            }
+        }
+    }
+    b.name(format!("grid({w}x{h})")).build()
+}
+
+/// A `w × h` torus: a grid with wrap-around links. Requires `w, h ≥ 3` so
+/// wrap-around links do not duplicate grid links.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `w < 3` or `h < 3`.
+pub fn torus(w: usize, h: usize) -> Result<Graph, GraphError> {
+    if w < 3 || h < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("torus dimensions must be >= 3, got {w}x{h}"),
+        });
+    }
+    let idx = |x: usize, y: usize| ProcId::from_index(y * w + x);
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            b.edge(idx(x, y), idx((x + 1) % w, y));
+            b.edge(idx(x, y), idx(x, (y + 1) % h));
+        }
+    }
+    b.name(format!("torus({w}x{h})")).build()
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` processors.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `d > 20` (guard against
+/// accidental enormous graphs). `d = 0` yields the singleton.
+pub fn hypercube(d: u32) -> Result<Graph, GraphError> {
+    if d > 20 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("hypercube dimension {d} too large (max 20)"),
+        });
+    }
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for bit in 0..d {
+            let j = i ^ (1 << bit);
+            if i < j {
+                b.edge(ProcId::from_index(i), ProcId::from_index(j));
+            }
+        }
+    }
+    b.name(format!("hypercube({d})")).build()
+}
+
+/// A lollipop: a clique of `clique` nodes with a path of `tail` extra nodes
+/// attached to clique node `0`.
+///
+/// Lollipops have a long chordless path through a dense region — a stress
+/// case for the `Potential` minimal-level parent choice.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `clique < 1`.
+pub fn lollipop(clique: usize, tail: usize) -> Result<Graph, GraphError> {
+    if clique < 1 {
+        return Err(GraphError::InvalidParameter { reason: "lollipop clique must be >= 1".into() });
+    }
+    let n = clique + tail;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            b.edge(ProcId::from_index(i), ProcId::from_index(j));
+        }
+    }
+    for t in 0..tail {
+        let prev = if t == 0 { 0 } else { clique + t - 1 };
+        b.edge(ProcId::from_index(prev), ProcId::from_index(clique + t));
+    }
+    b.name(format!("lollipop({clique}+{tail})")).build()
+}
+
+/// A caterpillar: a spine chain of `spine` nodes, each with `legs` leaf
+/// nodes attached.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, GraphError> {
+    if spine == 0 {
+        return Err(GraphError::InvalidParameter { reason: "caterpillar spine must be >= 1".into() });
+    }
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.edge(ProcId::from_index(s - 1), ProcId::from_index(s));
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.edge(ProcId::from_index(s), ProcId::from_index(spine + s * legs + l));
+        }
+    }
+    b.name(format!("caterpillar({spine}x{legs})")).build()
+}
+
+/// A wheel: a ring of `n - 1 ≥ 3` processors plus a hub (processor `0`)
+/// linked to every ring processor.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 4`.
+pub fn wheel(n: usize) -> Result<Graph, GraphError> {
+    if n < 4 {
+        return Err(GraphError::InvalidParameter { reason: format!("wheel needs n >= 4, got {n}") });
+    }
+    let m = n - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..m {
+        b.edge(ProcId::from_index(1 + i), ProcId::from_index(1 + (i + 1) % m));
+        b.edge(ProcId(0), ProcId::from_index(1 + i));
+    }
+    b.name(format!("wheel({n})")).build()
+}
+
+/// The complete bipartite graph `K_{a,b}`: processors `0..a` on one side,
+/// `a..a+b` on the other, every cross pair linked.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("bipartite sides must be non-empty, got {a} and {b}"),
+        });
+    }
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.edge(ProcId::from_index(i), ProcId::from_index(a + j));
+        }
+    }
+    builder.name(format!("bipartite({a}x{b})")).build()
+}
+
+/// The Petersen graph: 10 processors, 3-regular, girth 5 — a classical
+/// stress topology (vertex-transitive, no short chordless shortcuts).
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    for i in 0..5u32 {
+        b.edge(ProcId(i), ProcId((i + 1) % 5)); // outer pentagon
+        b.edge(ProcId(5 + i), ProcId(5 + (i + 2) % 5)); // inner pentagram
+        b.edge(ProcId(i), ProcId(5 + i)); // spokes
+    }
+    b.name("petersen").build().expect("petersen is always valid")
+}
+
+/// A barbell: two cliques of `clique` processors joined by a path of
+/// `bridge` processors. A classical worst case for information flow.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `clique < 2`.
+pub fn barbell(clique: usize, bridge: usize) -> Result<Graph, GraphError> {
+    if clique < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("barbell cliques need >= 2 processors, got {clique}"),
+        });
+    }
+    let n = 2 * clique + bridge;
+    let mut b = GraphBuilder::new(n);
+    let left = |i: usize| ProcId::from_index(i);
+    let right = |i: usize| ProcId::from_index(clique + bridge + i);
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            b.edge(left(i), left(j));
+            b.edge(right(i), right(j));
+        }
+    }
+    // Bridge path from left clique node 0 to right clique node 0.
+    let mut prev = left(0);
+    for k in 0..bridge {
+        let node = ProcId::from_index(clique + k);
+        b.edge(prev, node);
+        prev = node;
+    }
+    b.edge(prev, right(0));
+    b.name(format!("barbell({clique}+{bridge}+{clique})")).build()
+}
+
+/// A connected Erdős–Rényi-style random graph: a uniformly random spanning
+/// tree (guaranteeing connectivity) plus each remaining pair linked
+/// independently with probability `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`, or
+/// [`GraphError::Empty`] if `n == 0`.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("edge probability must be in [0,1], got {p}"),
+        });
+    }
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Random spanning tree: random permutation, attach each node to a random
+    // earlier node.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        b.edge(ProcId::from_index(order[i]), ProcId::from_index(order[j]));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                b.edge(ProcId::from_index(i), ProcId::from_index(j));
+            }
+        }
+    }
+    b.name(format!("random({n},p{p},s{seed})")).build()
+}
+
+/// Serializable description of a topology-family instance; the unit of
+/// parameter sweeps in the experiment harness.
+///
+/// # Examples
+///
+/// ```
+/// use pif_graph::Topology;
+///
+/// # fn main() -> Result<(), pif_graph::GraphError> {
+/// let g = Topology::Ring { n: 8 }.build()?;
+/// assert_eq!(g.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Topology {
+    /// See [`chain`].
+    Chain {
+        /// Number of processors.
+        n: usize,
+    },
+    /// See [`ring`].
+    Ring {
+        /// Number of processors.
+        n: usize,
+    },
+    /// See [`star`].
+    Star {
+        /// Number of processors.
+        n: usize,
+    },
+    /// See [`complete`].
+    Complete {
+        /// Number of processors.
+        n: usize,
+    },
+    /// See [`kary_tree`].
+    KaryTree {
+        /// Number of processors.
+        n: usize,
+        /// Arity.
+        k: usize,
+    },
+    /// See [`random_tree`].
+    RandomTree {
+        /// Number of processors.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// See [`grid`].
+    Grid {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// See [`torus`].
+    Torus {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// See [`hypercube`].
+    Hypercube {
+        /// Dimension.
+        d: u32,
+    },
+    /// See [`lollipop`].
+    Lollipop {
+        /// Clique size.
+        clique: usize,
+        /// Tail length.
+        tail: usize,
+    },
+    /// See [`caterpillar`].
+    Caterpillar {
+        /// Spine length.
+        spine: usize,
+        /// Leaves per spine node.
+        legs: usize,
+    },
+    /// See [`wheel`].
+    Wheel {
+        /// Number of processors (hub included).
+        n: usize,
+    },
+    /// See [`complete_bipartite`].
+    Bipartite {
+        /// Left side size.
+        a: usize,
+        /// Right side size.
+        b: usize,
+    },
+    /// See [`petersen`].
+    Petersen,
+    /// See [`barbell`].
+    Barbell {
+        /// Clique size.
+        clique: usize,
+        /// Bridge length.
+        bridge: usize,
+    },
+    /// See [`random_connected`].
+    Random {
+        /// Number of processors.
+        n: usize,
+        /// Extra-edge probability.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Topology {
+    /// Instantiates the described graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying generator's [`GraphError`].
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        match *self {
+            Topology::Chain { n } => chain(n),
+            Topology::Ring { n } => ring(n),
+            Topology::Star { n } => star(n),
+            Topology::Complete { n } => complete(n),
+            Topology::KaryTree { n, k } => kary_tree(n, k),
+            Topology::RandomTree { n, seed } => random_tree(n, seed),
+            Topology::Grid { w, h } => grid(w, h),
+            Topology::Torus { w, h } => torus(w, h),
+            Topology::Hypercube { d } => hypercube(d),
+            Topology::Lollipop { clique, tail } => lollipop(clique, tail),
+            Topology::Caterpillar { spine, legs } => caterpillar(spine, legs),
+            Topology::Wheel { n } => wheel(n),
+            Topology::Bipartite { a, b } => complete_bipartite(a, b),
+            Topology::Petersen => Ok(petersen()),
+            Topology::Barbell { clique, bridge } => barbell(clique, bridge),
+            Topology::Random { n, p, seed } => random_connected(n, p, seed),
+        }
+    }
+
+    /// A representative mixed suite of small-to-medium topologies covering
+    /// trees, sparse cyclic graphs, dense graphs, and random graphs — the
+    /// default workload of the experiment harness.
+    pub fn standard_suite() -> Vec<Topology> {
+        vec![
+            Topology::Chain { n: 16 },
+            Topology::Ring { n: 16 },
+            Topology::Star { n: 16 },
+            Topology::Complete { n: 12 },
+            Topology::KaryTree { n: 15, k: 2 },
+            Topology::RandomTree { n: 16, seed: 7 },
+            Topology::Grid { w: 4, h: 4 },
+            Topology::Torus { w: 4, h: 4 },
+            Topology::Hypercube { d: 4 },
+            Topology::Lollipop { clique: 6, tail: 8 },
+            Topology::Caterpillar { spine: 5, legs: 2 },
+            Topology::Wheel { n: 12 },
+            Topology::Bipartite { a: 4, b: 6 },
+            Topology::Petersen,
+            Topology::Barbell { clique: 4, bridge: 3 },
+            Topology::Random { n: 16, p: 0.2, seed: 11 },
+        ]
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.build() {
+            Ok(g) => write!(f, "{}", g.name()),
+            Err(_) => write!(f, "{self:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(ProcId(0)), 1);
+        assert_eq!(g.degree(ProcId(2)), 2);
+        assert_eq!(metrics::diameter(&g), 4);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(7).unwrap();
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.procs().all(|p| g.degree(p) == 2));
+        assert_eq!(metrics::diameter(&g), 3);
+        assert!(ring(2).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(9).unwrap();
+        assert_eq!(g.degree(ProcId(0)), 8);
+        assert!((1..9).all(|i| g.degree(ProcId(i)) == 1));
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(metrics::diameter(&g), 1);
+    }
+
+    #[test]
+    fn kary_tree_shape() {
+        let g = kary_tree(7, 2).unwrap();
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(ProcId(0)), 2);
+        // Leaves 3..7 have degree 1.
+        assert!((3..7).all(|i| g.degree(ProcId(i)) == 1));
+        assert!(kary_tree(5, 0).is_err());
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..20 {
+            for n in [1usize, 2, 3, 4, 10, 33] {
+                let g = random_tree(n, seed).unwrap();
+                assert_eq!(g.len(), n);
+                assert_eq!(g.edge_count(), n.saturating_sub(1), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_varies_with_seed() {
+        let a = random_tree(12, 1).unwrap();
+        let b = random_tree(12, 2).unwrap();
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_ne!(ea, eb, "two seeds produced identical trees (unlikely)");
+        // Determinism: same seed, same tree.
+        let a2 = random_tree(12, 1).unwrap();
+        let ea2: Vec<_> = a2.edges().collect();
+        assert_eq!(ea, ea2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.edge_count(), 3 * 4 * 2 - 3 - 4);
+        assert_eq!(metrics::diameter(&g), 2 + 3);
+        assert!(grid(0, 3).is_err());
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(4, 4).unwrap();
+        assert_eq!(g.len(), 16);
+        assert!(g.procs().all(|p| g.degree(p) == 4));
+        assert_eq!(metrics::diameter(&g), 4);
+        assert!(torus(2, 4).is_err());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.len(), 16);
+        assert!(g.procs().all(|p| g.degree(p) == 4));
+        assert_eq!(metrics::diameter(&g), 4);
+        assert_eq!(hypercube(0).unwrap().len(), 1);
+        assert!(hypercube(21).is_err());
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(5, 4).unwrap();
+        assert_eq!(g.len(), 9);
+        // Clique nodes 1..5 have degree 4; node 0 has clique degree 4 + tail 1.
+        assert_eq!(g.degree(ProcId(0)), 5);
+        assert_eq!(g.degree(ProcId(8)), 1);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3).unwrap();
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.edge_count(), 3 + 12);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(8).unwrap();
+        assert_eq!(g.degree(ProcId(0)), 7);
+        assert!((1..8).all(|i| g.degree(ProcId(i)) == 3));
+        assert!(wheel(3).is_err());
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!((0..3).all(|i| g.degree(ProcId(i)) == 4));
+        assert!((3..7).all(|i| g.degree(ProcId(i)) == 3));
+        // No intra-side edges.
+        assert!(!g.has_edge(ProcId(0), ProcId(1)));
+        assert!(!g.has_edge(ProcId(3), ProcId(4)));
+        assert!(complete_bipartite(0, 3).is_err());
+    }
+
+    #[test]
+    fn petersen_shape() {
+        let g = petersen();
+        assert_eq!(g.len(), 10);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.procs().all(|p| g.degree(p) == 3));
+        assert_eq!(metrics::diameter(&g), 2);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2).unwrap();
+        assert_eq!(g.len(), 10);
+        // Two K4 (6 edges each) + 3 bridge edges.
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(metrics::diameter(&g), 5);
+        assert!(barbell(1, 0).is_err());
+        // Zero bridge: the cliques touch directly.
+        let g0 = barbell(3, 0).unwrap();
+        assert_eq!(g0.len(), 6);
+        assert!(g0.has_edge(ProcId(0), ProcId(3)));
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        for seed in 0..10 {
+            let g = random_connected(20, 0.1, seed).unwrap();
+            assert_eq!(g.len(), 20);
+            let g2 = random_connected(20, 0.1, seed).unwrap();
+            assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        }
+        assert!(random_connected(5, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn standard_suite_all_build() {
+        for t in Topology::standard_suite() {
+            let g = t.build().unwrap_or_else(|e| panic!("{t:?} failed: {e}"));
+            assert!(!g.is_empty());
+            assert!(!g.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn topology_display_uses_graph_name() {
+        assert_eq!(Topology::Ring { n: 5 }.to_string(), "ring(5)");
+    }
+}

@@ -1,0 +1,51 @@
+//! Network topology substrate for the snap-stabilizing PIF reproduction.
+//!
+//! The paper *Snap-Stabilizing PIF Algorithm in Arbitrary Networks* (Cournier,
+//! Datta, Petit, Villain — ICDCS 2002) considers "an asynchronous network of
+//! `N` processors connected by bidirectional communication links according to
+//! an arbitrary topology". This crate provides everything the rest of the
+//! workspace needs to talk about such networks:
+//!
+//! * [`Graph`] — an immutable, connected, undirected graph with locally
+//!   ordered neighbor lists (the paper's `Neig_p` with its total order `≻_p`),
+//!   stored in compressed sparse row form.
+//! * [`GraphBuilder`] — incremental construction with validation.
+//! * [`generators`] — the topology families used by the experiment harness
+//!   (chains, rings, stars, trees, grids, tori, hypercubes, random connected
+//!   graphs, …).
+//! * [`metrics`] — BFS distances, eccentricity, diameter, radius and
+//!   connectivity checks.
+//! * [`chordless`] — longest elementary chordless path computation, which
+//!   bounds the height `h` of the tree built by the PIF broadcast phase
+//!   (Theorem 4 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use pif_graph::{generators, metrics, ProcId};
+//!
+//! # fn main() -> Result<(), pif_graph::GraphError> {
+//! let g = generators::ring(6)?;
+//! assert_eq!(g.len(), 6);
+//! assert_eq!(g.degree(ProcId(0)), 2);
+//! assert_eq!(metrics::diameter(&g), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod chordless;
+mod error;
+pub mod generators;
+mod graph;
+mod id;
+pub mod metrics;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use generators::Topology;
+pub use graph::{Edges, Graph, Neighbors};
+pub use id::ProcId;

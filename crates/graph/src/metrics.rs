@@ -1,0 +1,212 @@
+//! Distance metrics on network topologies.
+//!
+//! The paper's complexity bounds are phrased in terms of the diameter, the
+//! height `h` of the constructed broadcast tree, and the length of the
+//! longest elementary chordless path (see [`crate::chordless`]). This module
+//! provides the classical BFS-based quantities.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, ProcId};
+
+/// Distance not-yet-computed marker inside [`bfs_distances`]. All real
+/// distances in a connected graph are `< N ≤ u32::MAX`.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Breadth-first-search distances from `source` to every processor.
+///
+/// Returns a vector indexed by processor id. In a connected [`Graph`] every
+/// entry is a real distance; [`UNREACHABLE`] can only appear if the graph
+/// was (unsafely) assumed connected but is not — construction prevents this.
+///
+/// # Examples
+///
+/// ```
+/// use pif_graph::{generators, metrics, ProcId};
+///
+/// # fn main() -> Result<(), pif_graph::GraphError> {
+/// let g = generators::chain(4)?;
+/// assert_eq!(metrics::bfs_distances(&g, ProcId(0)), vec![0, 1, 2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bfs_distances(g: &Graph, source: ProcId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.len()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(p) = queue.pop_front() {
+        let d = dist[p.index()];
+        for q in g.neighbors(p) {
+            if dist[q.index()] == UNREACHABLE {
+                dist[q.index()] = d + 1;
+                queue.push_back(q);
+            }
+        }
+    }
+    dist
+}
+
+/// A BFS tree from `source`: for every processor, its parent in a shortest
+/// path tree (`None` for the source itself).
+pub fn bfs_parents(g: &Graph, source: ProcId) -> Vec<Option<ProcId>> {
+    let mut parent = vec![None; g.len()];
+    let mut seen = vec![false; g.len()];
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(p) = queue.pop_front() {
+        for q in g.neighbors(p) {
+            if !seen[q.index()] {
+                seen[q.index()] = true;
+                parent[q.index()] = Some(p);
+                queue.push_back(q);
+            }
+        }
+    }
+    parent
+}
+
+/// Eccentricity of `p`: the maximum BFS distance from `p` to any processor.
+pub fn eccentricity(g: &Graph, p: ProcId) -> u32 {
+    bfs_distances(g, p).into_iter().max().unwrap_or(0)
+}
+
+/// Diameter: the maximum eccentricity over all processors.
+///
+/// Exact (all-pairs BFS), `O(N · (N + M))`; intended for the experiment
+/// sizes used in this workspace (up to a few thousand processors).
+pub fn diameter(g: &Graph) -> u32 {
+    g.procs().map(|p| eccentricity(g, p)).max().unwrap_or(0)
+}
+
+/// Radius: the minimum eccentricity over all processors.
+pub fn radius(g: &Graph) -> u32 {
+    g.procs().map(|p| eccentricity(g, p)).min().unwrap_or(0)
+}
+
+/// Whether every processor is reachable from `p0`. Always true for a
+/// constructed [`Graph`]; exposed for testing the builder itself and for
+/// validating externally supplied edge lists before construction.
+pub fn is_connected(g: &Graph) -> bool {
+    !bfs_distances(g, ProcId(0)).contains(&UNREACHABLE)
+}
+
+/// Height of the tree defined by a parent-pointer vector, measured from
+/// `root`. Returns `None` if the pointers do not describe a tree spanning
+/// all processors (cycle, wrong root, or orphan).
+///
+/// Used to measure `h`, the height of the tree dynamically constructed
+/// during the PIF broadcast phase (Theorem 4 of the paper).
+pub fn tree_height(parents: &[Option<ProcId>], root: ProcId) -> Option<u32> {
+    let n = parents.len();
+    if root.index() >= n || parents[root.index()].is_some() {
+        return None;
+    }
+    let mut depth: Vec<Option<u32>> = vec![None; n];
+    depth[root.index()] = Some(0);
+    let mut max = 0u32;
+    for start in 0..n {
+        if depth[start].is_some() {
+            continue;
+        }
+        // Walk up to a node of known depth, collecting the path.
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            if let Some(d) = depth[cur] {
+                let mut d = d;
+                for &b in path.iter().rev() {
+                    d += 1;
+                    depth[b] = Some(d);
+                    max = max.max(d);
+                }
+                break;
+            }
+            if path.len() > n {
+                return None; // cycle
+            }
+            path.push(cur);
+            match parents[cur] {
+                Some(p) if p.index() < n => cur = p.index(),
+                _ => return None, // orphan or out-of-range parent
+            }
+        }
+    }
+    Some(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_ring() {
+        let g = generators::ring(6).unwrap();
+        assert_eq!(bfs_distances(&g, ProcId(0)), vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_parents_form_shortest_tree() {
+        let g = generators::grid(3, 3).unwrap();
+        let parents = bfs_parents(&g, ProcId(0));
+        let dist = bfs_distances(&g, ProcId(0));
+        for p in g.procs() {
+            if let Some(par) = parents[p.index()] {
+                assert_eq!(dist[p.index()], dist[par.index()] + 1);
+                assert!(g.has_edge(p, par));
+            } else {
+                assert_eq!(p, ProcId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_and_radius() {
+        let g = generators::chain(7).unwrap();
+        assert_eq!(diameter(&g), 6);
+        assert_eq!(radius(&g), 3);
+        let s = generators::star(10).unwrap();
+        assert_eq!(diameter(&s), 2);
+        assert_eq!(radius(&s), 1);
+    }
+
+    #[test]
+    fn eccentricity_of_chain_end() {
+        let g = generators::chain(5).unwrap();
+        assert_eq!(eccentricity(&g, ProcId(0)), 4);
+        assert_eq!(eccentricity(&g, ProcId(2)), 2);
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let g = generators::ring(5).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn tree_height_of_bfs_tree_equals_eccentricity() {
+        let g = generators::torus(4, 5).unwrap();
+        let parents = bfs_parents(&g, ProcId(0));
+        assert_eq!(tree_height(&parents, ProcId(0)), Some(eccentricity(&g, ProcId(0))));
+    }
+
+    #[test]
+    fn tree_height_rejects_cycles() {
+        // 0 -> None (root), 1 -> 2, 2 -> 1: cycle between 1 and 2.
+        let parents = vec![None, Some(ProcId(2)), Some(ProcId(1))];
+        assert_eq!(tree_height(&parents, ProcId(0)), None);
+    }
+
+    #[test]
+    fn tree_height_rejects_non_root() {
+        let parents = vec![Some(ProcId(1)), None];
+        assert_eq!(tree_height(&parents, ProcId(0)), None);
+    }
+
+    #[test]
+    fn tree_height_singleton() {
+        assert_eq!(tree_height(&[None], ProcId(0)), Some(0));
+    }
+}

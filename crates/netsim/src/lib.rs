@@ -1,0 +1,504 @@
+//! Asynchronous message-passing execution of shared-memory protocols.
+//!
+//! The paper's algorithm is written for the locally shared memory model:
+//! a guard reads the neighbors' registers *atomically*. Real networks
+//! pass messages. The classical bridge (used throughout the
+//! self-stabilization literature the paper cites — Katz & Perry \[17\],
+//! Varghese \[23\]) is **state dissemination**: every processor keeps a
+//! cached copy of each neighbor's registers, re-broadcasts its own state
+//! on every change, and evaluates guards against the caches; links are
+//! FIFO channels with arbitrary finite delay.
+//!
+//! This crate implements that transform generically over any
+//! [`Protocol`], with a scheduler that interleaves action executions and
+//! message deliveries adversarially (seeded), so the workspace can
+//! *measure* which guarantees survive the weaker model:
+//!
+//! * from a clean, cache-consistent start the PIF cycle still completes
+//!   and delivers everywhere (stale guards cause extra churn that the
+//!   correction actions absorb) — asserted by tests across seeds;
+//! * snap-stabilization **from corrupted caches** is *not* claimed — the
+//!   message-passing model admits configurations the shared-memory proof
+//!   never faces. Experiment E13 (`exp_message_passing`) quantifies the
+//!   gap honestly instead of asserting it away.
+//!
+//! The transform preserves the model's key restriction: a processor's
+//! step reads only its own true state and its *caches* of the neighbors;
+//! it never peeks at another processor's true registers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use pif_daemon::{ActionId, Protocol, View};
+use pif_graph::{Graph, ProcId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One directed link's identity: messages flow `from → to`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkId {
+    /// Sending endpoint.
+    pub from: ProcId,
+    /// Receiving endpoint.
+    pub to: ProcId,
+}
+
+/// A schedulable event in the message-passing system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// Processor executes one enabled action (as judged by its caches)
+    /// and, if its state changed, sends the new state on every incident
+    /// link.
+    Execute(ProcId),
+    /// The head message of the link is delivered, updating the receiver's
+    /// cache of the sender.
+    Deliver(LinkId),
+    /// Processor re-sends its current state on every incident link even
+    /// though nothing changed — the periodic *heartbeat* that the
+    /// state-dissemination transform needs for fault recovery (without
+    /// it, corrupted caches can silence the whole system forever; see the
+    /// tests).
+    Heartbeat(ProcId),
+}
+
+/// What applying an [`Event`] actually did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// The processor executed this action.
+    Executed(ProcId, ActionId),
+    /// The link's head message was delivered.
+    Delivered(LinkId),
+    /// The processor heartbeat its state.
+    Sent(ProcId),
+    /// The event was a no-op (disabled processor or empty link).
+    Nothing,
+}
+
+impl Effect {
+    /// Whether the event changed anything.
+    pub fn happened(self) -> bool {
+        self != Effect::Nothing
+    }
+}
+
+/// Statistics of a message-passing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Action executions performed.
+    pub executions: u64,
+    /// Messages delivered.
+    pub deliveries: u64,
+    /// Messages currently in flight.
+    pub in_flight: u64,
+}
+
+/// The message-passing simulator: true states, per-processor neighbor
+/// caches, and FIFO channels carrying state updates.
+///
+/// # Examples
+///
+/// Run the snap-stabilizing PIF over message passing from a clean start:
+///
+/// ```
+/// use pif_core::{initial, PifProtocol};
+/// use pif_graph::{generators, ProcId};
+/// use pif_netsim::NetSimulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::ring(5)?;
+/// let protocol = PifProtocol::new(ProcId(0), &g);
+/// let init = initial::normal_starting(&g);
+/// let mut net = NetSimulator::new(g, protocol, init);
+/// let stats = net.run_random(7, 0.6, 100_000);
+/// assert!(stats.executions > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetSimulator<P: Protocol> {
+    graph: Graph,
+    protocol: P,
+    /// True register states.
+    states: Vec<P::State>,
+    /// `cache[p][k]` — processor `p`'s copy of its `k`-th neighbor's
+    /// state (`k` indexes `graph.neighbor_slice(p)`).
+    cache: Vec<Vec<P::State>>,
+    /// FIFO channel per directed link, indexed like `cache` on the
+    /// receiving side: `channel[p][k]` carries updates from `p`'s `k`-th
+    /// neighbor to `p`.
+    channel: Vec<Vec<VecDeque<P::State>>>,
+    /// Whether the random scheduler occasionally fires heartbeats.
+    heartbeats: bool,
+    executions: u64,
+    deliveries: u64,
+}
+
+impl<P: Protocol> NetSimulator<P> {
+    /// Creates the system with consistent caches and empty channels (the
+    /// message-passing analogue of a clean start in `init`).
+    pub fn new(graph: Graph, protocol: P, init: Vec<P::State>) -> Self {
+        assert_eq!(graph.len(), init.len(), "one state per processor");
+        let cache = graph
+            .procs()
+            .map(|p| graph.neighbors(p).map(|q| init[q.index()].clone()).collect())
+            .collect();
+        let channel = graph
+            .procs()
+            .map(|p| (0..graph.degree(p)).map(|_| VecDeque::new()).collect())
+            .collect();
+        NetSimulator {
+            graph,
+            protocol,
+            states: init,
+            cache,
+            channel,
+            heartbeats: true,
+            executions: 0,
+            deliveries: 0,
+        }
+    }
+
+    /// Disables heartbeats in the random scheduler — modelling the naive
+    /// transform that only sends on change. Clean starts still work;
+    /// corrupted caches can then deadlock the system permanently (the
+    /// tests demonstrate exactly this failure).
+    pub fn without_heartbeats(mut self) -> Self {
+        self.heartbeats = false;
+        self
+    }
+
+    /// Desynchronizes the caches: every processor's copy of each neighbor
+    /// is replaced by an arbitrary in-domain state drawn by `f` — the
+    /// message-passing-specific corruption mode that shared memory cannot
+    /// express.
+    pub fn scramble_caches(&mut self, mut f: impl FnMut(ProcId, ProcId) -> P::State) {
+        for p in self.graph.procs() {
+            let neighbors: Vec<ProcId> = self.graph.neighbors(p).collect();
+            for (k, q) in neighbors.iter().enumerate() {
+                self.cache[p.index()][k] = f(p, *q);
+            }
+        }
+    }
+
+    /// The true configuration.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The network.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            executions: self.executions,
+            deliveries: self.deliveries,
+            in_flight: self
+                .channel
+                .iter()
+                .flat_map(|c| c.iter())
+                .map(|q| q.len() as u64)
+                .sum(),
+        }
+    }
+
+    /// The local view processor `p` acts on: its own true state plus its
+    /// caches (other processors' slots hold `p`'s own state; protocols
+    /// never read non-neighbors).
+    fn local_view(&self, p: ProcId) -> Vec<P::State> {
+        let mut v: Vec<P::State> =
+            (0..self.graph.len()).map(|_| self.states[p.index()].clone()).collect();
+        for (k, q) in self.graph.neighbors(p).enumerate() {
+            v[q.index()] = self.cache[p.index()][k].clone();
+        }
+        v
+    }
+
+    /// The actions `p` believes are enabled (judged on its caches).
+    pub fn enabled_actions(&self, p: ProcId) -> Vec<ActionId> {
+        let local = self.local_view(p);
+        let mut out = Vec::new();
+        self.protocol.enabled_actions(View::new(&self.graph, &local, p), &mut out);
+        out
+    }
+
+    /// Whether any event (execution or delivery) is possible.
+    pub fn has_events(&self) -> bool {
+        self.graph.procs().any(|p| !self.enabled_actions(p).is_empty())
+            || self.channel.iter().any(|c| c.iter().any(|q| !q.is_empty()))
+    }
+
+    /// Applies one event, reporting what actually happened (an `Execute`
+    /// of a processor with no enabled action, or a `Deliver` on an empty
+    /// link, is a no-op reported as [`Effect::Nothing`]).
+    pub fn apply(&mut self, event: Event) -> Effect {
+        match event {
+            Event::Execute(p) => {
+                let local = self.local_view(p);
+                let mut actions = Vec::new();
+                self.protocol
+                    .enabled_actions(View::new(&self.graph, &local, p), &mut actions);
+                let Some(&a) = actions.first() else {
+                    return Effect::Nothing;
+                };
+                let next = self.protocol.execute(View::new(&self.graph, &local, p), a);
+                if next != self.states[p.index()] {
+                    // Broadcast the new state to every neighbor.
+                    for q in self.graph.neighbors(p) {
+                        let k = self
+                            .graph
+                            .neighbor_slice(q)
+                            .binary_search(&p)
+                            .expect("p is q's neighbor");
+                        self.channel[q.index()][k].push_back(next.clone());
+                    }
+                }
+                self.states[p.index()] = next;
+                self.executions += 1;
+                Effect::Executed(p, a)
+            }
+            Event::Heartbeat(p) => {
+                let state = self.states[p.index()].clone();
+                for q in self.graph.neighbors(p) {
+                    let k = self
+                        .graph
+                        .neighbor_slice(q)
+                        .binary_search(&p)
+                        .expect("p is q's neighbor");
+                    self.channel[q.index()][k].push_back(state.clone());
+                }
+                Effect::Sent(p)
+            }
+            Event::Deliver(link) => {
+                let k = match self.graph.neighbor_slice(link.to).binary_search(&link.from) {
+                    Ok(k) => k,
+                    Err(_) => return Effect::Nothing,
+                };
+                match self.channel[link.to.index()][k].pop_front() {
+                    Some(state) => {
+                        self.cache[link.to.index()][k] = state;
+                        self.deliveries += 1;
+                        Effect::Delivered(link)
+                    }
+                    None => Effect::Nothing,
+                }
+            }
+        }
+    }
+
+    /// Picks and applies one event under the seeded-random policy used by
+    /// [`NetSimulator::run_random`] (delivery bias, occasional
+    /// heartbeats). Returns the effect, or `None` if the system is
+    /// quiescent with heartbeats disabled.
+    pub fn step_random(&mut self, rng: &mut StdRng, delivery_bias: f64) -> Option<Effect> {
+        let executable: Vec<ProcId> = self
+            .graph
+            .procs()
+            .filter(|&p| !self.enabled_actions(p).is_empty())
+            .collect();
+        let deliverable: Vec<LinkId> = self
+            .graph
+            .procs()
+            .flat_map(|p| {
+                let ch = &self.channel[p.index()];
+                self.graph
+                    .neighbors(p)
+                    .enumerate()
+                    .filter(|&(k, _)| !ch[k].is_empty())
+                    .map(move |(_, q)| LinkId { from: q, to: p })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if executable.is_empty() && deliverable.is_empty() {
+            if !self.heartbeats {
+                return None;
+            }
+            let p = ProcId::from_index(rng.random_range(0..self.graph.len()));
+            return Some(self.apply(Event::Heartbeat(p)));
+        }
+        if self.heartbeats && rng.random_bool(0.02) {
+            let p = ProcId::from_index(rng.random_range(0..self.graph.len()));
+            return Some(self.apply(Event::Heartbeat(p)));
+        }
+        let deliver =
+            !deliverable.is_empty() && (executable.is_empty() || rng.random_bool(delivery_bias));
+        Some(if deliver {
+            let l = deliverable[rng.random_range(0..deliverable.len())];
+            self.apply(Event::Deliver(l))
+        } else {
+            let p = executable[rng.random_range(0..executable.len())];
+            self.apply(Event::Execute(p))
+        })
+    }
+
+    /// Runs under a seeded random fair scheduler until quiescence (no
+    /// enabled action anywhere and no message in flight) or the event
+    /// budget is exhausted. `delivery_bias ∈ (0, 1)` is the probability of
+    /// preferring a delivery over an execution when both are possible —
+    /// low values starve the caches (high asynchrony).
+    pub fn run_random(&mut self, seed: u64, delivery_bias: f64, max_events: u64) -> NetStats {
+        assert!(delivery_bias > 0.0 && delivery_bias < 1.0, "bias must be in (0,1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..max_events {
+            if self.step_random(&mut rng, delivery_bias).is_none() {
+                break;
+            }
+        }
+        self.stats()
+    }
+
+    /// Runs until `target` holds on the **true** configuration (checked
+    /// before each event), using the same random scheduler. Returns
+    /// whether the target was reached within the budget.
+    pub fn run_random_until(
+        &mut self,
+        seed: u64,
+        delivery_bias: f64,
+        max_events: u64,
+        target: impl Fn(&[P::State]) -> bool,
+    ) -> bool {
+        assert!(delivery_bias > 0.0 && delivery_bias < 1.0, "bias must be in (0,1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..max_events {
+            if target(&self.states) {
+                return true;
+            }
+            if self.step_random(&mut rng, delivery_bias).is_none() {
+                return target(&self.states);
+            }
+        }
+        target(&self.states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_core::{initial, Phase, PifProtocol};
+    use pif_graph::generators;
+
+    fn pif_net(n: usize) -> NetSimulator<PifProtocol> {
+        let g = generators::ring(n).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::normal_starting(&g);
+        NetSimulator::new(g, protocol, init)
+    }
+
+    #[test]
+    fn clean_start_cycle_completes_under_message_passing() {
+        // Across seeds and asynchrony levels, the wave reaches EF (root F)
+        // and drains back to all-C, over messages only.
+        for seed in 0..10 {
+            for bias in [0.2, 0.5, 0.8] {
+                let mut net = pif_net(6);
+                let reached_f = net.run_random_until(seed, bias, 500_000, |s| {
+                    s[0].phase == Phase::F
+                });
+                assert!(reached_f, "seed {seed} bias {bias}: EF never reached");
+                let cleaned = net.run_random_until(seed + 1, bias, 500_000, |s| {
+                    s.iter().all(|st| st.phase == Phase::C)
+                });
+                assert!(cleaned, "seed {seed} bias {bias}: never cleaned");
+            }
+        }
+    }
+
+    #[test]
+    fn execution_reads_caches_not_true_states() {
+        // p1's cache still shows the root as C, so p1 must not join even
+        // though the root's true state is B.
+        let g = generators::chain(3).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::normal_starting(&g);
+        let mut net = NetSimulator::new(g, protocol, init);
+        assert!(net.apply(Event::Execute(ProcId(0))).happened()); // root B-action
+        assert_eq!(net.states()[0].phase, Phase::B);
+        assert!(
+            net.enabled_actions(ProcId(1)).is_empty(),
+            "p1 cannot know about the broadcast before the message arrives"
+        );
+        // Deliver the update; now p1 sees it.
+        assert!(net.apply(Event::Deliver(LinkId { from: ProcId(0), to: ProcId(1) })).happened());
+        assert!(!net.enabled_actions(ProcId(1)).is_empty());
+    }
+
+    #[test]
+    fn deliveries_are_fifo() {
+        let g = generators::chain(2).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::normal_starting(&g);
+        let mut net = NetSimulator::new(g, protocol, init);
+        // Root: B-action, then (after p1 joins? p1 can't see it) — the
+        // root's only two sends here are B then (no further change until
+        // p1's message arrives). Check FIFO by counting in-flight.
+        net.apply(Event::Execute(ProcId(0)));
+        assert_eq!(net.stats().in_flight, 1);
+        net.apply(Event::Deliver(LinkId { from: ProcId(0), to: ProcId(1) }));
+        assert_eq!(net.stats().in_flight, 0);
+        assert_eq!(net.stats().deliveries, 1);
+    }
+
+    #[test]
+    fn noop_events_report_false() {
+        let mut net = pif_net(4);
+        // Empty link delivery.
+        assert!(!net.apply(Event::Deliver(LinkId { from: ProcId(1), to: ProcId(0) })).happened());
+        // Disabled processor execution.
+        assert!(!net.apply(Event::Execute(ProcId(2))).happened());
+    }
+
+    #[test]
+    fn quiescence_is_reached_mid_cycle_boundaries() {
+        // The PIF scheme never terminates in shared memory; over messages
+        // it also keeps running (the root re-broadcasts). Just bound a
+        // long run and ensure events keep flowing.
+        let mut net = pif_net(5);
+        let stats = net.run_random(3, 0.5, 20_000);
+        // Heartbeats take a small share of the budget; the protocol keeps
+        // cycling for the rest.
+        assert!(stats.executions > 5_000, "the scheme runs forever: {stats:?}");
+        assert!(stats.deliveries > 5_000);
+    }
+
+    fn scrambled(heartbeats: bool) -> NetSimulator<PifProtocol> {
+        let g = generators::chain(4).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::normal_starting(&g);
+        let mut net = NetSimulator::new(g.clone(), protocol, init);
+        if !heartbeats {
+            net = net.without_heartbeats();
+        }
+        // Every cache claims the neighbor broadcasts with Fok set (a state
+        // that blocks Pre_Potential and Leaf alike) — so nobody believes
+        // any action is enabled, nothing changes, nothing is re-sent.
+        net.scramble_caches(|_, q| pif_core::PifState {
+            phase: Phase::B,
+            par: q,
+            level: 1,
+            count: 1,
+            fok: true,
+        });
+        net
+    }
+
+    #[test]
+    fn scrambled_caches_deadlock_without_heartbeats() {
+        // The canonical argument for heartbeats in the state-dissemination
+        // transform: a silent system never repairs its caches.
+        let mut net = scrambled(false);
+        let stats = net.run_random(9, 0.5, 1_000_000);
+        assert_eq!(stats.executions, 0, "nothing can ever execute");
+        assert_eq!(net.states()[0].phase, Phase::C, "the wave never starts");
+    }
+
+    #[test]
+    fn scrambled_caches_are_repaired_with_heartbeats() {
+        let mut net = scrambled(true);
+        let done = net.run_random_until(9, 0.5, 1_000_000, |s| s[0].phase == Phase::F);
+        assert!(done, "heartbeat re-dissemination must repair the caches");
+    }
+}

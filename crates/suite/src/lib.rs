@@ -1,0 +1,15 @@
+//! Host crate for the workspace-level integration tests (`tests/` at the
+//! repository root) and the runnable examples (`examples/` at the
+//! repository root). It re-exports the workspace crates so tests and
+//! examples can use one import root.
+
+#![forbid(unsafe_code)]
+
+pub use pif_apps as apps;
+pub use pif_baselines as baselines;
+pub use pif_bench as bench;
+pub use pif_core as core;
+pub use pif_daemon as daemon;
+pub use pif_graph as graph;
+pub use pif_netsim as netsim;
+pub use pif_verify as verify;

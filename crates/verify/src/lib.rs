@@ -1,0 +1,602 @@
+//! Exhaustive model checking of the snap-stabilizing PIF on tiny networks.
+//!
+//! The paper's central claim (Definition 1) quantifies over **every**
+//! initial configuration and **every** weakly fair distributed daemon.
+//! Simulation-based experiments sample that space; this crate *exhausts*
+//! it for small instances:
+//!
+//! * [`StateSpace`] enumerates the complete configuration space — every
+//!   assignment of in-domain values to every register of every processor
+//!   (`Pif ∈ {B,F,C}`, `Par ∈ Neig_p`, `L ∈ [1, L_max]`,
+//!   `Count ∈ [1, N']`, `Fok ∈ 𝔹`).
+//! * [`StateSpace::check_universal`] evaluates a predicate over *all*
+//!   configurations (used for Property 1 and deadlock-freedom).
+//! * [`StateSpace::check_snap_safety`] runs a breadth-first search over
+//!   the **product** of the configuration space with the
+//!   message-delivery overlay, branching over *every* daemon choice
+//!   (every non-empty subset of enabled processors × every enabled action
+//!   of each): it verifies that whenever the root's `F-action` closes a
+//!   wave the root actually opened, every processor had received the
+//!   message (\[PIF1\]) and acknowledged it while holding it (\[PIF2\]).
+//!
+//! A search that completes with zero violations is a *proof* of
+//! snap-stabilization for that instance (up to the faithfulness of the
+//! encoding) — and the same search run against the `leaf_guard` ablation
+//! *finds* the violation, which doubles as a sensitivity check of the
+//! checker itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use pif_core::PifProtocol;
+//! use pif_graph::{generators, ProcId};
+//! use pif_verify::StateSpace;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::chain(2)?;
+//! let protocol = PifProtocol::new(ProcId(0), &g);
+//! let space = StateSpace::new(g, protocol);
+//! assert_eq!(space.config_count(), 144);
+//! let report = space.check_snap_safety(true);
+//! assert!(report.verified());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use pif_core::protocol::{B_ACTION, F_ACTION};
+use pif_core::{Phase, PifProtocol, PifState};
+use pif_daemon::{ActionId, Protocol, View};
+use pif_graph::{Graph, ProcId};
+
+/// The complete configuration space of one protocol instance on one
+/// (tiny) network.
+#[derive(Clone, Debug)]
+pub struct StateSpace {
+    graph: Graph,
+    protocol: PifProtocol,
+    /// Per-processor register domains.
+    domains: Vec<Vec<PifState>>,
+    /// Mixed-radix strides for encoding a configuration as a `u64`.
+    strides: Vec<u64>,
+    /// Reverse lookup: per-processor state → domain index.
+    index: Vec<HashMap<PifState, u32>>,
+    total: u64,
+}
+
+/// The result of an exhaustive Theorem 1 round-bound search
+/// ([`StateSpace::check_correction_bound`]).
+#[derive(Clone, Debug)]
+pub struct CorrectionBoundReport {
+    /// The round bound checked (the paper's `3·L_max + 3`).
+    pub bound: u32,
+    /// Product states explored.
+    pub states_explored: u64,
+    /// Configurations still abnormal after `bound` completed rounds
+    /// (empty = the theorem's bound is verified on this instance).
+    pub violations: Vec<Vec<PifState>>,
+}
+
+impl CorrectionBoundReport {
+    /// Whether the bound held on every path from every configuration.
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A violation found by [`StateSpace::check_snap_safety`].
+#[derive(Clone, Debug)]
+pub struct SnapViolation {
+    /// The configuration in which the root's `F-action` closed the wave.
+    pub configuration: Vec<PifState>,
+    /// Which processors had not received the message.
+    pub not_received: Vec<ProcId>,
+    /// Which processors had not acknowledged while holding it.
+    pub not_acked: Vec<ProcId>,
+}
+
+/// The result of an exhaustive snap-safety search.
+#[derive(Clone, Debug)]
+pub struct SnapSafetyReport {
+    /// Product states explored.
+    pub states_explored: u64,
+    /// Transitions taken.
+    pub transitions: u64,
+    /// Violations found (empty = verified).
+    pub violations: Vec<SnapViolation>,
+    /// Whether acknowledgments (\[PIF2\]) were tracked in addition to
+    /// deliveries (\[PIF1\]).
+    pub acks_tracked: bool,
+}
+
+impl SnapSafetyReport {
+    /// Whether the instance was verified snap-safe.
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl StateSpace {
+    /// Builds the state space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration count exceeds `2^40` or the network
+    /// has more than 16 processors (the overlay bitmaps are `u16`); this
+    /// checker is for `N ≤ 4`-ish instances.
+    pub fn new(graph: Graph, protocol: PifProtocol) -> Self {
+        assert!(graph.len() <= 16, "model checking is for tiny networks");
+        let mut domains = Vec::with_capacity(graph.len());
+        for p in graph.procs() {
+            domains.push(Self::domain_of(&graph, &protocol, p));
+        }
+        let mut strides = vec![0u64; graph.len()];
+        let mut total = 1u64;
+        for (i, d) in domains.iter().enumerate() {
+            strides[i] = total;
+            total = total
+                .checked_mul(d.len() as u64)
+                .filter(|&t| t < (1 << 40))
+                .expect("configuration space too large for exhaustive checking");
+        }
+        let index = domains
+            .iter()
+            .map(|d| d.iter().enumerate().map(|(i, s)| (*s, i as u32)).collect())
+            .collect();
+        StateSpace { graph, protocol, domains, strides, index, total }
+    }
+
+    /// All in-domain register states of processor `p`.
+    fn domain_of(graph: &Graph, protocol: &PifProtocol, p: ProcId) -> Vec<PifState> {
+        let mut out = Vec::new();
+        let is_root = p == protocol.root();
+        let pars: Vec<ProcId> = if is_root {
+            // Par_r and L_r are program constants; one canonical value.
+            vec![graph.neighbors(p).next().unwrap_or(p)]
+        } else {
+            graph.neighbors(p).collect()
+        };
+        let levels: Vec<u16> = if is_root { vec![1] } else { (1..=protocol.l_max()).collect() };
+        for phase in Phase::ALL {
+            for &par in &pars {
+                for &level in &levels {
+                    for count in 1..=protocol.n_prime() {
+                        for fok in [false, true] {
+                            out.push(PifState { phase, par, level, count, fok });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of distinct configurations.
+    pub fn config_count(&self) -> u64 {
+        self.total
+    }
+
+    /// The network under verification.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The protocol instance under verification.
+    pub fn protocol(&self) -> &PifProtocol {
+        &self.protocol
+    }
+
+    /// Decodes a configuration id into register states.
+    pub fn decode(&self, mut id: u64) -> Vec<PifState> {
+        let mut out = Vec::with_capacity(self.domains.len());
+        for d in &self.domains {
+            let i = (id % d.len() as u64) as usize;
+            id /= d.len() as u64;
+            out.push(d[i]);
+        }
+        out
+    }
+
+    /// Encodes register states into a configuration id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state is outside its processor's domain.
+    pub fn encode(&self, states: &[PifState]) -> u64 {
+        let mut id = 0u64;
+        for (i, s) in states.iter().enumerate() {
+            let di = *self.index[i]
+                .get(s)
+                .unwrap_or_else(|| panic!("state {s} out of domain for processor {i}"));
+            id += u64::from(di) * self.strides[i];
+        }
+        id
+    }
+
+    /// Enabled actions of every processor in `states`.
+    fn enabled(&self, states: &[PifState]) -> Vec<Vec<ActionId>> {
+        let mut out = Vec::with_capacity(states.len());
+        let mut buf = Vec::new();
+        for p in self.graph.procs() {
+            buf.clear();
+            self.protocol.enabled_actions(View::new(&self.graph, states, p), &mut buf);
+            out.push(buf.clone());
+        }
+        out
+    }
+
+    /// Evaluates `predicate` over **every** configuration, returning the
+    /// first violating configuration (decoded) if any.
+    pub fn check_universal<F>(&self, predicate: F) -> Option<Vec<PifState>>
+    where
+        F: Fn(&PifProtocol, &Graph, &[PifState]) -> bool,
+    {
+        for id in 0..self.total {
+            let states = self.decode(id);
+            if !predicate(&self.protocol, &self.graph, &states) {
+                return Some(states);
+            }
+        }
+        None
+    }
+
+    /// Verifies that **no** configuration is terminal: in every
+    /// configuration some action is enabled, so the PIF scheme can never
+    /// seize up. Returns the first deadlocked configuration if one
+    /// exists.
+    pub fn check_no_deadlock(&self) -> Option<Vec<PifState>> {
+        self.check_universal(|proto, graph, states| {
+            let mut buf = Vec::new();
+            graph.procs().any(|p| {
+                buf.clear();
+                proto.enabled_actions(View::new(graph, states, p), &mut buf);
+                !buf.is_empty()
+            })
+        })
+    }
+
+
+    /// Exhaustively verifies Theorem 1's round bound: from **every**
+    /// configuration, under **every** daemon choice, all processors are
+    /// normal within `bound` rounds (Dolev-Israeli-Moran accounting,
+    /// tracked per path via the pending set of round-owing processors).
+    ///
+    /// Executions that stall rounds forever (unfair daemons) never
+    /// complete rounds and therefore cannot witness a violation — which
+    /// matches the theorem's quantification over weakly fair daemons: any
+    /// *fair* execution exceeding the bound has a finite prefix that this
+    /// search reaches.
+    pub fn check_correction_bound(&self, bound: u32) -> CorrectionBoundReport {
+        assert!(bound < 128, "round bound must fit the packed encoding");
+        let n = self.graph.len();
+        let pack = |cfg: u64, pending: u16, rounds: u32| -> u128 {
+            (u128::from(cfg) << 23) | (u128::from(pending) << 7) | u128::from(rounds)
+        };
+        let abnormal = |states: &[PifState]| {
+            self.graph
+                .procs()
+                .any(|p| !self.protocol.normal(View::new(&self.graph, states, p)))
+        };
+        let enabled_mask = |enabled: &[Vec<ActionId>]| -> u16 {
+            enabled
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.is_empty())
+                .fold(0u16, |m, (i, _)| m | (1 << i))
+        };
+
+        let mut seen: HashSet<u128> = HashSet::new();
+        let mut queue: VecDeque<(u64, u16, u32)> = VecDeque::new();
+        let mut violations: Vec<Vec<PifState>> = Vec::new();
+        let mut states_explored = 0u64;
+
+        for cfg in 0..self.total {
+            let states = self.decode(cfg);
+            if !abnormal(&states) {
+                continue; // already normal: nothing to verify
+            }
+            let pending = enabled_mask(&self.enabled(&states));
+            if seen.insert(pack(cfg, pending, 0)) {
+                queue.push_back((cfg, pending, 0));
+            }
+        }
+
+        while let Some((cfg, pending, rounds)) = queue.pop_front() {
+            states_explored += 1;
+            let states = self.decode(cfg);
+            let enabled = self.enabled(&states);
+            let procs: Vec<usize> = (0..n).filter(|&i| !enabled[i].is_empty()).collect();
+            if procs.is_empty() {
+                continue; // deadlock (reported by check_no_deadlock)
+            }
+            let option_counts: Vec<usize> =
+                procs.iter().map(|&i| enabled[i].len() + 1).collect();
+            let combos: usize = option_counts.iter().product();
+            for combo in 1..combos {
+                let mut c = combo;
+                let mut selection: Vec<(usize, ActionId)> = Vec::new();
+                for (k, &i) in procs.iter().enumerate() {
+                    let choice = c % option_counts[k];
+                    c /= option_counts[k];
+                    if choice > 0 {
+                        selection.push((i, enabled[i][choice - 1]));
+                    }
+                }
+                let mut next = states.clone();
+                for &(i, a) in &selection {
+                    next[i] = self.protocol.execute(
+                        View::new(&self.graph, &states, ProcId::from_index(i)),
+                        a,
+                    );
+                }
+                if !abnormal(&next) {
+                    continue; // goal reached on this branch
+                }
+                let next_enabled = enabled_mask(&self.enabled(&next));
+                // Round accounting: executed and now-disabled processors
+                // leave the pending set.
+                let mut pending2 = pending;
+                for &(i, _) in &selection {
+                    pending2 &= !(1 << i);
+                }
+                pending2 &= next_enabled;
+                let mut rounds2 = rounds;
+                if pending2 == 0 {
+                    rounds2 += 1;
+                    if rounds2 >= bound {
+                        // `bound` rounds completed with abnormal
+                        // processors remaining: Theorem 1 violated here.
+                        if violations.len() < 8 {
+                            violations.push(next.clone());
+                        }
+                        continue;
+                    }
+                    pending2 = next_enabled;
+                }
+                let cfg2 = self.encode(&next);
+                if seen.insert(pack(cfg2, pending2, rounds2)) {
+                    queue.push_back((cfg2, pending2, rounds2));
+                }
+            }
+        }
+
+        CorrectionBoundReport { bound, states_explored, violations }
+    }
+
+    /// Exhaustive snap-safety search over the product of the
+    /// configuration space with the delivery overlay, branching over
+    /// every daemon choice. See the crate docs.
+    pub fn check_snap_safety(&self, track_acks: bool) -> SnapSafetyReport {
+        let n = self.graph.len();
+        let root = self.protocol.root();
+        let pack = |cfg: u64, has: u16, ack: u16, active: bool| -> u128 {
+            (u128::from(cfg) << 33)
+                | (u128::from(has) << 17)
+                | (u128::from(ack) << 1)
+                | u128::from(active)
+        };
+
+        let mut seen: HashSet<u128> = HashSet::new();
+        let mut queue: VecDeque<(u64, u16, u16, bool)> = VecDeque::new();
+        // Every configuration is a legitimate starting point, with an
+        // empty overlay (no wave opened yet).
+        for cfg in 0..self.total {
+            seen.insert(pack(cfg, 0, 0, false));
+            queue.push_back((cfg, 0, 0, false));
+        }
+
+        let mut transitions = 0u64;
+        let mut violations: Vec<SnapViolation> = Vec::new();
+
+        while let Some((cfg, has, ack, active)) = queue.pop_front() {
+            let states = self.decode(cfg);
+            let enabled = self.enabled(&states);
+            let procs: Vec<usize> = (0..n).filter(|&i| !enabled[i].is_empty()).collect();
+            if procs.is_empty() {
+                continue; // terminal (reported by check_no_deadlock)
+            }
+            // Every daemon choice: each enabled processor independently
+            // skips or executes one of its enabled actions; all-skip is
+            // excluded (combo 0).
+            let option_counts: Vec<usize> = procs.iter().map(|&i| enabled[i].len() + 1).collect();
+            let combos: usize = option_counts.iter().product();
+            for combo in 1..combos {
+                let mut c = combo;
+                let mut selection: Vec<(usize, ActionId)> = Vec::new();
+                for (k, &i) in procs.iter().enumerate() {
+                    let choice = c % option_counts[k];
+                    c /= option_counts[k];
+                    if choice > 0 {
+                        selection.push((i, enabled[i][choice - 1]));
+                    }
+                }
+                transitions += 1;
+
+                // Apply simultaneously against the old configuration.
+                let mut next = states.clone();
+                for &(i, a) in &selection {
+                    next[i] = self.protocol.execute(
+                        View::new(&self.graph, &states, ProcId::from_index(i)),
+                        a,
+                    );
+                }
+
+                // Overlay update (same semantics as pif_core::wave).
+                let mut has2 = has;
+                let mut ack2 = ack;
+                let mut active2 = active;
+                if selection.iter().any(|&(i, a)| i == root.index() && a == B_ACTION) {
+                    has2 = 1 << root.index();
+                    ack2 = 0;
+                    active2 = true;
+                }
+                for &(i, a) in &selection {
+                    if i == root.index() {
+                        continue;
+                    }
+                    match a {
+                        B_ACTION => {
+                            let par = next[i].par.index();
+                            if has2 & (1 << par) != 0 {
+                                has2 |= 1 << i;
+                            } else {
+                                has2 &= !(1 << i);
+                            }
+                            ack2 &= !(1 << i);
+                        }
+                        F_ACTION
+                            if has2 & (1 << i) != 0 => {
+                                ack2 |= 1 << i;
+                            }
+                        _ => {}
+                    }
+                }
+                if active2
+                    && selection.iter().any(|&(i, a)| i == root.index() && a == F_ACTION)
+                {
+                    let all = (1u16 << n) - 1;
+                    let all_have = has2 == all;
+                    let all_acked = !track_acks || (ack2 | (1 << root.index())) == all;
+                    if !(all_have && all_acked) && violations.len() < 8 {
+                        violations.push(SnapViolation {
+                            configuration: states.clone(),
+                            not_received: (0..n)
+                                .filter(|&i| has2 & (1 << i) == 0)
+                                .map(ProcId::from_index)
+                                .collect(),
+                            not_acked: (0..n)
+                                .filter(|&i| i != root.index() && ack2 & (1 << i) == 0)
+                                .map(ProcId::from_index)
+                                .collect(),
+                        });
+                    }
+                    active2 = false;
+                    has2 = 0;
+                    ack2 = 0;
+                }
+
+                let cfg2 = self.encode(&next);
+                if !track_acks {
+                    ack2 = 0;
+                }
+                if seen.insert(pack(cfg2, has2, ack2, active2)) {
+                    queue.push_back((cfg2, has2, ack2, active2));
+                }
+            }
+        }
+
+        SnapSafetyReport {
+            states_explored: seen.len() as u64,
+            transitions,
+            violations,
+            acks_tracked: track_acks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_core::Features;
+    use pif_graph::generators;
+
+    fn space(n: usize) -> StateSpace {
+        let g = generators::chain(n).unwrap();
+        let p = PifProtocol::new(ProcId(0), &g);
+        StateSpace::new(g, p)
+    }
+
+    #[test]
+    fn domain_sizes_are_exact() {
+        let s = space(3);
+        // root: 3 phases × 3 counts × 2 fok = 18;
+        // p1: 3 × 2 par × 2 levels × 3 counts × 2 = 72;
+        // p2: 3 × 1 par × 2 levels × 3 counts × 2 = 36.
+        assert_eq!(s.config_count(), 18 * 72 * 36);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = space(3);
+        for id in [0u64, 1, 17, 999, s.config_count() - 1] {
+            let states = s.decode(id);
+            assert_eq!(s.encode(&states), id);
+        }
+    }
+
+    #[test]
+    fn no_configuration_deadlocks_chain3() {
+        let s = space(3);
+        assert_eq!(s.check_no_deadlock(), None, "found a terminal configuration");
+    }
+
+    #[test]
+    fn property1_universal_chain3() {
+        let s = space(3);
+        let witness = s.check_universal(|proto, g, states| {
+            pif_core::analysis::property1_holds(proto, g, states)
+        });
+        assert_eq!(witness, None);
+    }
+
+    #[test]
+    fn snap_safety_exhaustive_chain2() {
+        let s = space(2);
+        let report = s.check_snap_safety(true);
+        assert!(report.verified(), "violations: {:#?}", report.violations);
+        assert!(report.states_explored >= s.config_count());
+        assert!(report.acks_tracked);
+    }
+
+    #[test]
+    fn checker_finds_the_leaf_guard_bug() {
+        // Sensitivity: the same exhaustive search against the leaf-guard
+        // ablation must FIND a snap violation on chain(3).
+        let g = generators::chain(3).unwrap();
+        let p = PifProtocol::new(ProcId(0), &g)
+            .with_features(Features { leaf_guard: false, ..Features::paper() });
+        let s = StateSpace::new(g, p);
+        let report = s.check_snap_safety(false);
+        assert!(!report.verified(), "the ablated protocol must have a reachable violation");
+        assert!(!report.violations[0].not_received.is_empty());
+    }
+
+    #[test]
+    fn theorem1_bound_exhaustive_chain2() {
+        let s = space(2);
+        // L_max = 1 → bound 6.
+        let report = s.check_correction_bound(6);
+        assert!(report.verified(), "violations: {:#?}", report.violations);
+        assert!(report.states_explored > 0);
+    }
+
+    #[test]
+    fn theorem1_impossible_bound_is_refuted() {
+        // Sensitivity: a bound of 0 rounds must be refuted (corrupted
+        // configurations need at least one round to correct).
+        let s = space(2);
+        let report = s.check_correction_bound(0);
+        assert!(!report.verified(), "a zero-round bound cannot hold");
+    }
+
+    #[test]
+    #[ignore = "full product space of chain(3); run with --ignored in release"]
+    fn theorem1_bound_exhaustive_chain3() {
+        let s = space(3);
+        // L_max = 2 → bound 9.
+        let report = s.check_correction_bound(9);
+        assert!(report.verified(), "violations: {:#?}", report.violations);
+    }
+
+    #[test]
+    #[ignore = "full product space of chain(3); run with --ignored in release"]
+    fn snap_safety_exhaustive_chain3() {
+        let s = space(3);
+        let report = s.check_snap_safety(true);
+        assert!(report.verified(), "violations: {:#?}", report.violations);
+    }
+}

@@ -1,0 +1,43 @@
+//! Several processors initiate PIF waves simultaneously — the paper's
+//! general setting ("any processor can be an initiator … several PIF
+//! protocols may be running simultaneously"). Each initiator owns an
+//! independent register set; the waves interleave freely and each one
+//! satisfies the PIF specification on its own.
+//!
+//! ```sh
+//! cargo run -p pif-suite --example concurrent_initiators
+//! ```
+
+use pif_core::multi::MultiInitiator;
+use pif_core::wave::SumAggregate;
+use pif_graph::{generators, ProcId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = generators::petersen();
+    println!("network: {graph} ({} processors)", graph.len());
+
+    // Three initiators, each running its own census wave concurrently.
+    let initiators = vec![ProcId(0), ProcId(3), ProcId(7)];
+    let n = graph.len();
+    let mut multi = MultiInitiator::new(
+        graph,
+        initiators.clone(),
+        |_| SumAggregate::new(vec![1; n]),
+        2026,
+    );
+
+    let messages: Vec<String> =
+        initiators.iter().map(|r| format!("census by {r}")).collect();
+    let outcomes = multi.run_concurrent_cycles(messages)?;
+
+    for (r, o) in initiators.iter().zip(&outcomes) {
+        println!(
+            "initiator {r}: PIF1 = {}, PIF2 = {}, tree height {}, census = {:?}",
+            o.pif1, o.pif2, o.height, o.feedback
+        );
+        assert!(o.satisfies_spec());
+        assert_eq!(o.feedback, Some(10));
+    }
+    println!("\nall concurrent waves delivered and were fully acknowledged");
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! End-to-end application scenarios built on the snap-stabilizing PIF.
+
+use pif_apps::infimum;
+use pif_apps::reset::ResetCoordinator;
+use pif_apps::snapshot::SnapshotService;
+use pif_apps::synchronizer::BarrierSynchronizer;
+use pif_apps::termination::TerminationDetector;
+use pif_core::{initial, PifProtocol};
+use pif_daemon::daemons::{CentralRandom, Synchronous};
+use pif_graph::{generators, ProcId};
+
+#[test]
+fn reset_then_snapshot_then_aggregate() {
+    // The motivating pipeline: reset a corrupted system, snapshot it,
+    // compute an aggregate — all PIF waves over the same network.
+    let g = generators::random_connected(12, 0.2, 6).unwrap();
+    let mut d = CentralRandom::new(5);
+
+    // 1. Reset the scrambled application.
+    let scrambled: Vec<u32> = (0..12).map(|i| 900 + i).collect();
+    let mut coord = ResetCoordinator::new(g.clone(), ProcId(0), scrambled);
+    let report = coord.reset(7, &mut d).unwrap();
+    assert!(report.confirmed);
+    assert!(coord.app_states().iter().all(|&s| s == 7));
+
+    // 2. Snapshot the (now uniform) state.
+    let mut svc = SnapshotService::new(g.clone(), ProcId(0), coord.app_states().to_vec());
+    let snap = svc.take(&mut d).unwrap();
+    assert!(snap.values.iter().all(|&(_, v)| v == 7));
+
+    // 3. Aggregate: the sum must be 12 * 7.
+    let values: Vec<i64> = snap.values.iter().map(|&(_, v)| i64::from(v)).collect();
+    let sum = infimum::global_sum(g, ProcId(0), values, &mut d).unwrap();
+    assert_eq!(sum, 84);
+}
+
+#[test]
+fn synchronizer_pulses_stay_in_lockstep_for_many_rounds() {
+    let g = generators::hypercube(3).unwrap();
+    let mut sync = BarrierSynchronizer::new(g, ProcId(0));
+    let pulses = sync.pulses(10, &mut CentralRandom::new(2)).unwrap();
+    assert_eq!(pulses.len(), 10);
+    assert!(pulses[9].clocks.iter().all(|&c| c == 10));
+}
+
+#[test]
+fn termination_detection_with_random_workload() {
+    let g = generators::grid(3, 3).unwrap();
+    let mut det = TerminationDetector::new(g, ProcId(0), vec![true; 9]);
+    // Workload: processor i finishes at wave i.
+    let report = det
+        .detect(
+            &mut Synchronous::first_action(),
+            |wave, flags| {
+                if wave < flags.len() {
+                    flags[wave] = false;
+                }
+            },
+            30,
+        )
+        .unwrap();
+    assert!(report.terminated);
+    // Monotone drain: the history never increases.
+    for w in report.active_history.windows(2) {
+        assert!(w[1] <= w[0]);
+    }
+}
+
+#[test]
+fn snapshot_service_survives_protocol_corruption() {
+    let g = generators::wheel(9).unwrap();
+    let proto = PifProtocol::new(ProcId(0), &g);
+    for seed in 0..8 {
+        let corrupted = initial::adversarial_config(&g, &proto, ProcId(4), seed);
+        let mut svc = SnapshotService::with_states(
+            g.clone(),
+            ProcId(0),
+            (0..9u32).collect(),
+            corrupted,
+        );
+        let snap = svc.take(&mut CentralRandom::new(seed)).unwrap();
+        assert_eq!(snap.values.len(), 9, "seed {seed}");
+        assert_eq!(snap.value_of(ProcId(8)), Some(&8));
+    }
+}
+
+#[test]
+fn infimum_matches_reference_on_every_root() {
+    let g = generators::torus(3, 3).unwrap();
+    let values: Vec<i64> = vec![5, -3, 8, 0, 12, -3, 9, 1, 4];
+    for root in g.procs() {
+        let min = infimum::global_min(
+            g.clone(),
+            root,
+            values.clone(),
+            &mut Synchronous::first_action(),
+        )
+        .unwrap();
+        assert_eq!(min, -3, "root {root}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Baseline contrast, cross-crate: the three related-work protocols
+//! behave exactly as the paper positions them.
+
+use pif_baselines::echo::EchoBaseline;
+use pif_baselines::ss_pif::{consecutive_waves, SsPifBaseline};
+use pif_baselines::tree_pif::TreePifBaseline;
+use pif_baselines::FirstWave;
+use pif_bench::contestants::SnapPifContestant;
+use pif_daemon::RunLimits;
+use pif_graph::{generators, ProcId};
+
+const LIMITS: RunLimits = RunLimits::new(500_000, 100_000);
+
+#[test]
+fn all_protocols_work_from_clean_starts() {
+    let g = generators::random_connected(12, 0.2, 4).unwrap();
+    for c in [&SnapPifContestant as &dyn FirstWave, &SsPifBaseline, &EchoBaseline] {
+        let v = c.first_wave(&g, ProcId(0), None, LIMITS);
+        assert!(v.holds(), "{} failed from clean start", c.name());
+    }
+    let tree = generators::random_tree(12, 8).unwrap();
+    let v = TreePifBaseline.first_wave(&tree, ProcId(0), None, LIMITS);
+    assert!(v.holds());
+}
+
+#[test]
+fn only_snap_protocols_survive_fuzzing() {
+    // On a tree, both snap protocols are perfect; echo and ss-pif are not.
+    let tree = generators::kary_tree(13, 2).unwrap();
+    let seeds = 40u64;
+    let rate = |c: &dyn FirstWave| {
+        (0..seeds).filter(|&s| c.first_wave(&tree, ProcId(0), Some(s), LIMITS).holds()).count()
+    };
+    let snap = rate(&SnapPifContestant);
+    let tree_snap = rate(&TreePifBaseline);
+    let ss = rate(&SsPifBaseline);
+    let echo = rate(&EchoBaseline);
+    assert_eq!(snap, seeds as usize, "arbitrary-network snap PIF must be perfect");
+    assert_eq!(tree_snap, seeds as usize, "tree snap PIF must be perfect on trees");
+    assert!(ss < seeds as usize, "ss-PIF must fail sometimes ({ss}/{seeds})");
+    assert!(echo < seeds as usize, "echo must fail sometimes ({echo}/{seeds})");
+}
+
+#[test]
+fn ss_pif_converges_to_correct_waves() {
+    // Self-stabilization: the success indicator per wave is eventually
+    // always true.
+    let g = generators::grid(3, 3).unwrap();
+    let mut converged = 0;
+    for seed in 0..12 {
+        let waves = consecutive_waves(&g, ProcId(0), seed, 6, RunLimits::new(300_000, 60_000));
+        if waves.last() == Some(&true) {
+            converged += 1;
+        }
+    }
+    assert!(converged >= 9, "only {converged}/12 corrupted starts converged");
+}
+
+#[test]
+fn first_wave_failure_modes_differ() {
+    // Echo can fail by never initiating (deadlock); the snap PIF always
+    // initiates and always delivers.
+    let g = generators::ring(10).unwrap();
+    let mut echo_deadlocks = 0;
+    for seed in 0..40 {
+        let v = EchoBaseline.first_wave(&g, ProcId(0), Some(seed), LIMITS);
+        if !v.initiated {
+            echo_deadlocks += 1;
+        }
+        let v = SnapPifContestant.first_wave(&g, ProcId(0), Some(seed), LIMITS);
+        assert!(v.initiated, "snap PIF must always initiate (seed {seed})");
+        assert!(v.holds(), "snap PIF must always deliver (seed {seed})");
+    }
+    assert!(echo_deadlocks > 0, "echo should deadlock on some corrupted start");
+}

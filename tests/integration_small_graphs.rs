@@ -1,0 +1,108 @@
+//! Exhaustive topology sweep: every connected labelled graph on 4 and 5
+//! processors (38 and 728 of them respectively), each subjected to
+//! clean-start cycles and fuzzed snap checks. No topology family bias —
+//! if the algorithm has a shape-dependent bug below N = 6, this finds it.
+
+use pif_core::checker::check_first_wave;
+use pif_core::wave::{SumAggregate, WaveRunner};
+use pif_core::{initial, PifProtocol};
+use pif_daemon::daemons::{CentralRandom, Synchronous};
+use pif_daemon::RunLimits;
+use pif_graph::{Graph, ProcId};
+
+/// Enumerates every connected labelled graph on `n` nodes.
+fn all_connected_graphs(n: usize) -> Vec<Graph> {
+    let pairs: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+        .collect();
+    let m = pairs.len();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << m) {
+        let edges: Vec<(u32, u32)> =
+            (0..m).filter(|&k| mask & (1 << k) != 0).map(|k| pairs[k]).collect();
+        if let Ok(g) = Graph::from_edges(n, edges) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[test]
+fn there_are_38_connected_graphs_on_4_nodes() {
+    // Known count of connected labelled graphs: 1, 1, 4, 38, 728, …
+    assert_eq!(all_connected_graphs(4).len(), 38);
+    assert_eq!(all_connected_graphs(3).len(), 4);
+}
+
+#[test]
+fn every_connected_4_graph_cycles_and_aggregates() {
+    for (i, g) in all_connected_graphs(4).into_iter().enumerate() {
+        for root in g.procs() {
+            let proto = PifProtocol::new(root, &g);
+            let mut runner =
+                WaveRunner::new(g.clone(), proto, SumAggregate::new(vec![1; 4]));
+            let out = runner
+                .run_cycle(1u8, &mut Synchronous::first_action())
+                .unwrap_or_else(|e| panic!("graph {i} root {root}: {e}"));
+            assert!(out.satisfies_spec(), "graph {i} root {root}");
+            assert_eq!(out.feedback, Some(4), "graph {i} root {root}");
+            let h = u64::from(out.height);
+            assert!(out.cycle_rounds <= 5 * h + 5, "graph {i} root {root}: Theorem 4");
+        }
+    }
+}
+
+#[test]
+fn every_connected_4_graph_is_snap_under_fuzzing() {
+    for (i, g) in all_connected_graphs(4).into_iter().enumerate() {
+        let proto = PifProtocol::new(ProcId(0), &g);
+        for seed in 0..4 {
+            let init = initial::random_config(&g, &proto, seed);
+            let report = check_first_wave(
+                g.clone(),
+                proto.clone(),
+                init,
+                &mut CentralRandom::new(seed),
+                RunLimits::new(500_000, 100_000),
+            )
+            .unwrap();
+            assert!(report.holds(), "graph {i} seed {seed}: missed {:?}", report.missed);
+        }
+    }
+}
+
+#[test]
+fn every_connected_5_graph_cycles_from_clean_start() {
+    // 728 graphs; one synchronous cycle each keeps this fast.
+    let graphs = all_connected_graphs(5);
+    assert_eq!(graphs.len(), 728);
+    for (i, g) in graphs.into_iter().enumerate() {
+        let proto = PifProtocol::new(ProcId(0), &g);
+        let mut runner = WaveRunner::new(g.clone(), proto, SumAggregate::new(vec![1; 5]));
+        let out = runner
+            .run_cycle(1u8, &mut Synchronous::first_action())
+            .unwrap_or_else(|e| panic!("graph {i}: {e}"));
+        assert!(out.satisfies_spec(), "graph {i}");
+        assert_eq!(out.feedback, Some(5), "graph {i}");
+    }
+}
+
+#[test]
+fn sampled_connected_5_graphs_are_snap_under_fuzzing() {
+    // Every 13th of the 728 graphs, two fuzz seeds each.
+    for (i, g) in all_connected_graphs(5).into_iter().enumerate().step_by(13) {
+        let proto = PifProtocol::new(ProcId(0), &g);
+        for seed in 0..2 {
+            let init = initial::random_config(&g, &proto, seed);
+            let report = check_first_wave(
+                g.clone(),
+                proto.clone(),
+                init,
+                &mut CentralRandom::new(seed + i as u64),
+                RunLimits::new(500_000, 100_000),
+            )
+            .unwrap();
+            assert!(report.holds(), "graph {i} seed {seed}: missed {:?}", report.missed);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The headline property, end to end: snap-stabilization (Definition 1).
+//! From arbitrary — fuzzed or adversarially crafted — initial
+//! configurations, under every daemon strategy, the *first* wave the root
+//! initiates satisfies [PIF1] and [PIF2]. Plus mid-run fault injection:
+//! corrupting registers between cycles never breaks the next cycle.
+
+use pif_core::checker::{check_first_wave, check_waves};
+use pif_core::wave::{UnitAggregate, WaveRunner};
+use pif_core::{initial, Phase, PifProtocol, PifState};
+use pif_daemon::RunLimits;
+use pif_graph::{ProcId, Topology};
+
+#[test]
+fn first_wave_holds_from_fuzzed_configs_everywhere() {
+    for t in Topology::standard_suite() {
+        let g = t.build().unwrap();
+        let proto = PifProtocol::new(ProcId(0), &g);
+        for seed in 0..10 {
+            let init = initial::random_config(&g, &proto, seed);
+            for kind in pif_bench::workloads::DaemonKind::ALL {
+                let mut d = kind.build(g.len(), seed);
+                let report = check_first_wave(
+                    g.clone(),
+                    proto.clone(),
+                    init.clone(),
+                    d.as_mut(),
+                    RunLimits::new(5_000_000, 1_000_000),
+                )
+                .unwrap();
+                assert!(
+                    report.holds(),
+                    "{t:?} seed {seed} daemon {}: missed {:?}",
+                    kind.name(),
+                    report.missed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn first_wave_holds_from_adversarial_configs() {
+    for t in [
+        Topology::Lollipop { clique: 6, tail: 8 },
+        Topology::Torus { w: 4, h: 4 },
+        Topology::Random { n: 14, p: 0.25, seed: 1 },
+    ] {
+        let g = t.build().unwrap();
+        let proto = PifProtocol::new(ProcId(0), &g);
+        for seed in 0..15 {
+            let fake_root = ProcId(1 + (seed as u32 % (g.len() as u32 - 1)));
+            let init = initial::adversarial_config(&g, &proto, fake_root, seed);
+            let mut d = pif_daemon::daemons::AdversarialLifo::new(4 * g.len() as u64, seed);
+            let report = check_first_wave(
+                g.clone(),
+                proto.clone(),
+                init,
+                &mut d,
+                RunLimits::new(5_000_000, 1_000_000),
+            )
+            .unwrap();
+            assert!(report.holds(), "{t:?} seed {seed}: missed {:?}", report.missed);
+        }
+    }
+}
+
+#[test]
+fn consecutive_waves_from_corruption_all_hold() {
+    let g = Topology::Grid { w: 4, h: 3 }.build().unwrap();
+    let proto = PifProtocol::new(ProcId(0), &g);
+    let init = initial::random_config(&g, &proto, 99);
+    let reports = check_waves(
+        g,
+        proto,
+        init,
+        &mut pif_daemon::daemons::CentralRandom::new(1),
+        RunLimits::default(),
+        5,
+    )
+    .unwrap();
+    assert_eq!(reports.len(), 5);
+    for (i, r) in reports.iter().enumerate() {
+        assert!(r.holds(), "wave {i}");
+    }
+}
+
+#[test]
+fn mid_run_fault_injection_never_breaks_the_next_wave() {
+    // Run a cycle; corrupt a few registers; the NEXT initiated wave must
+    // still satisfy the specification (snap-stabilization applied at an
+    // arbitrary "initial" configuration that we manufactured mid-history).
+    let g = Topology::Hypercube { d: 4 }.build().unwrap();
+    let proto = PifProtocol::new(ProcId(0), &g);
+    let mut runner = WaveRunner::new(g.clone(), proto.clone(), UnitAggregate);
+    let mut d = pif_daemon::daemons::CentralRandom::new(8);
+    let out = runner.run_cycle(1u64, &mut d).unwrap();
+    assert!(out.satisfies_spec());
+
+    for round in 0..10u64 {
+        // Manufacture corruption from the current (clean) state.
+        let mut states = runner.simulator().states().to_vec();
+        let n = states.len();
+        for k in 0..(3 + round as usize % 4) {
+            let idx = ((round as usize * 7 + k * 5) % (n - 1)) + 1;
+            let p = ProcId::from_index(idx);
+            let par = g.neighbors(p).next().unwrap();
+            states[idx] = PifState {
+                phase: [Phase::B, Phase::F][k % 2],
+                par,
+                level: ((round as u16 * 3 + k as u16) % proto.l_max()) + 1,
+                count: (k as u32 % proto.n_prime()) + 1,
+                fok: k % 3 == 0,
+            };
+        }
+        let mut fresh = WaveRunner::with_states(g.clone(), proto.clone(), UnitAggregate, states);
+        let out = fresh.run_cycle(100 + round, &mut d).unwrap();
+        assert!(out.satisfies_spec(), "round {round}");
+    }
+}
+
+#[test]
+fn snap_depends_on_exact_n_knowledge() {
+    // The paper: "the snap-stabilization of the algorithm is guaranteed by
+    // the knowledge of the exact size of the network (N) at the root."
+    // With N under-reported, the wave closes early: PIF1 violated.
+    let g = Topology::Chain { n: 6 }.build().unwrap();
+    let proto = PifProtocol::new(ProcId(0), &g).with_root_n(3);
+    let init = initial::normal_starting(&g);
+    // Adversarial-but-fair schedule: let the counting close over p0..p2
+    // before p3..p5 join. With the true N this is harmless (the count
+    // cannot reach N); with N = 3 the wave closes early.
+    let script: Vec<Vec<ProcId>> = [0u32, 1, 2, 1, 0, 1, 2, 2, 1, 0]
+        .into_iter()
+        .map(|i| vec![ProcId(i)])
+        .collect();
+    let report = check_first_wave(
+        g,
+        proto,
+        init,
+        &mut pif_daemon::daemons::FixedSchedule::new(script),
+        RunLimits::new(200_000, 50_000),
+    )
+    .unwrap();
+    assert!(
+        !report.holds(),
+        "under-reported N must break the guarantee (got {:?})",
+        report.outcome
+    );
+}
+
+fn soak(cycles: usize, corrupt_every: usize) {
+    // A long-running soak: continuous waves on a mid-size random graph,
+    // with periodic register corruption injected between cycles. Every
+    // single wave must satisfy the specification.
+    let g = Topology::Random { n: 24, p: 0.12, seed: 4 }.build().unwrap();
+    let proto = PifProtocol::new(ProcId(0), &g);
+    let mut runner =
+        WaveRunner::with_states(g.clone(), proto.clone(), UnitAggregate, initial::normal_starting(&g));
+    let mut d = pif_daemon::daemons::CentralRandom::new(17);
+    for cycle in 0..cycles {
+        if cycle % corrupt_every == corrupt_every - 1 {
+            let mut states = runner.simulator().states().to_vec();
+            initial::corrupt_registers(&mut states, &g, &proto, 5 + cycle % 11, cycle as u64);
+            runner = WaveRunner::with_states(g.clone(), proto.clone(), UnitAggregate, states);
+        }
+        let out = runner.run_cycle(cycle as u64, &mut d).unwrap();
+        assert!(out.satisfies_spec(), "cycle {cycle} violated the spec");
+    }
+}
+
+#[test]
+fn soak_short() {
+    soak(25, 4);
+}
+
+#[test]
+#[ignore = "long soak; run with --ignored"]
+fn soak_long() {
+    soak(1_000, 7);
+}
+
+#[test]
+fn snap_contestant_vs_baselines_shape() {
+    // The E5 contrast in miniature: snap 100%, baselines below.
+    let rows = pif_bench::experiments::e5_snap_vs_self::measure(
+        &Topology::Random { n: 10, p: 0.2, seed: 3 },
+        40,
+    );
+    let snap = rows.iter().find(|r| r.contestant.starts_with("snap")).unwrap();
+    assert_eq!(snap.fuzzed_ok, snap.fuzzed_total);
+    for r in &rows {
+        assert!(r.clean_ok, "{}: clean start must work", r.contestant);
+        assert!(
+            r.fuzzed_ok <= snap.fuzzed_ok,
+            "{} beat the snap algorithm?",
+            r.contestant
+        );
+    }
+}

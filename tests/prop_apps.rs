@@ -1,0 +1,103 @@
+//! Property-based tests of the application layer: every service built on
+//! the wave engine computes exactly what a centralized reference would,
+//! on random topologies, roots and inputs.
+
+use pif_apps::infimum;
+use pif_apps::snapshot::SnapshotService;
+use pif_apps::synchronizer::BarrierSynchronizer;
+use pif_apps::transformer::{GlobalFunction, Transformer};
+use pif_daemon::daemons::CentralRandom;
+use pif_graph::{generators, ProcId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn global_min_matches_reference(
+        n in 2usize..14,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+        dseed in any::<u64>(),
+        values in prop::collection::vec(-1000i64..1000, 14),
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let values = values[..n].to_vec();
+        let expected = *values.iter().min().unwrap();
+        let got = infimum::global_min(g, ProcId(0), values, &mut CentralRandom::new(dseed))
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn global_sum_matches_reference(
+        n in 2usize..14,
+        gseed in any::<u64>(),
+        dseed in any::<u64>(),
+        values in prop::collection::vec(-1000i64..1000, 14),
+    ) {
+        let g = generators::random_connected(n, 0.2, gseed).unwrap();
+        let values = values[..n].to_vec();
+        let expected: i64 = values.iter().sum();
+        let got = infimum::global_sum(g, ProcId(0), values, &mut CentralRandom::new(dseed))
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn snapshot_is_complete_and_exact(
+        n in 2usize..12,
+        gseed in any::<u64>(),
+        dseed in any::<u64>(),
+        values in prop::collection::vec(any::<u16>(), 12),
+    ) {
+        let g = generators::random_connected(n, 0.25, gseed).unwrap();
+        let values = values[..n].to_vec();
+        let mut svc = SnapshotService::new(g, ProcId(0), values.clone());
+        let snap = svc.take(&mut CentralRandom::new(dseed)).unwrap();
+        prop_assert_eq!(snap.values.len(), n);
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(snap.value_of(ProcId::from_index(i)), Some(v));
+        }
+    }
+
+    #[test]
+    fn synchronizer_clocks_agree_after_each_pulse(
+        n in 2usize..10,
+        gseed in any::<u64>(),
+        dseed in any::<u64>(),
+        pulses in 1usize..4,
+    ) {
+        let g = generators::random_connected(n, 0.3, gseed).unwrap();
+        let mut sync = BarrierSynchronizer::new(g, ProcId(0));
+        let mut d = CentralRandom::new(dseed);
+        for i in 1..=pulses {
+            let p = sync.pulse(&mut d).unwrap();
+            prop_assert!(p.clocks.iter().all(|&c| c == i as u64));
+        }
+    }
+
+    #[test]
+    fn transformer_answers_match_reference(
+        n in 2usize..10,
+        gseed in any::<u64>(),
+        dseed in any::<u64>(),
+        values in prop::collection::vec(0u32..10_000, 10),
+    ) {
+        struct Max(Vec<u32>);
+        impl GlobalFunction for Max {
+            type Input = u32;
+            type Output = u32;
+            fn input(&self, p: ProcId) -> u32 { self.0[p.index()] }
+            fn lift(&self, x: u32) -> u32 { x }
+            fn combine(&self, a: u32, b: u32) -> u32 { a.max(b) }
+        }
+        let g = generators::random_connected(n, 0.25, gseed).unwrap();
+        let values = values[..n].to_vec();
+        let expected = *values.iter().max().unwrap();
+        let mut t = Transformer::new(g, ProcId(0), Max(values));
+        let out = t.request(&mut CentralRandom::new(dseed)).unwrap();
+        prop_assert_eq!(out.result, expected);
+        prop_assert!(out.installed.iter().all(|&i| i));
+    }
+}

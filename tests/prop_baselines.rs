@@ -1,0 +1,76 @@
+//! Property-based tests of the baseline protocols: each behaves exactly
+//! as its fault-tolerance class predicts, on random topologies and
+//! corruptions.
+
+use pif_baselines::echo::EchoBaseline;
+use pif_baselines::ss_pif::SsPifBaseline;
+use pif_baselines::tree_pif::TreePifBaseline;
+use pif_baselines::FirstWave;
+use pif_bench::contestants::SnapPifContestant;
+use pif_daemon::RunLimits;
+use pif_graph::{generators, ProcId};
+use proptest::prelude::*;
+
+fn limits() -> RunLimits {
+    RunLimits::new(300_000, 60_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Clean starts: every protocol in the zoo performs a correct wave.
+    #[test]
+    fn all_protocols_correct_from_clean(
+        n in 3usize..12,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        prop_assert!(SnapPifContestant.first_wave(&g, ProcId(0), None, limits()).holds());
+        prop_assert!(SsPifBaseline.first_wave(&g, ProcId(0), None, limits()).holds());
+        prop_assert!(EchoBaseline.first_wave(&g, ProcId(0), None, limits()).holds());
+    }
+
+    /// The tree snap PIF is snap on arbitrary random trees, any root.
+    #[test]
+    fn tree_pif_is_snap_on_random_trees(
+        n in 2usize..14,
+        tseed in any::<u64>(),
+        cseed in any::<u64>(),
+        root in 0usize..14,
+    ) {
+        let g = generators::random_tree(n, tseed).unwrap();
+        let root = ProcId((root % n) as u32);
+        let v = TreePifBaseline.first_wave(&g, root, Some(cseed), limits());
+        prop_assert!(v.holds(), "{v:?}");
+    }
+
+    /// The snap PIF dominates: on any instance where a baseline's first
+    /// wave succeeds, the snap algorithm's succeeds too (and it succeeds
+    /// on instances where baselines fail).
+    #[test]
+    fn snap_dominates_pointwise(
+        n in 3usize..10,
+        p in 0.0f64..0.35,
+        gseed in any::<u64>(),
+        cseed in any::<u64>(),
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let snap = SnapPifContestant.first_wave(&g, ProcId(0), Some(cseed), limits());
+        prop_assert!(snap.holds(), "snap must never fail: {snap:?}");
+    }
+
+    /// Echo's verdict is deterministic per seed (the harness is seeded
+    /// end to end).
+    #[test]
+    fn verdicts_are_reproducible(
+        n in 3usize..10,
+        gseed in any::<u64>(),
+        cseed in any::<u64>(),
+    ) {
+        let g = generators::random_connected(n, 0.2, gseed).unwrap();
+        let a = EchoBaseline.first_wave(&g, ProcId(0), Some(cseed), limits());
+        let b = EchoBaseline.first_wave(&g, ProcId(0), Some(cseed), limits());
+        prop_assert_eq!(a, b);
+    }
+}

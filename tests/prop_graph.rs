@@ -1,0 +1,79 @@
+//! Property-based tests of the topology substrate.
+
+use pif_graph::{chordless, generators, metrics, ProcId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_connected_is_connected(n in 1usize..40, p in 0.0f64..0.4, seed in any::<u64>()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        prop_assert_eq!(g.len(), n);
+        prop_assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn random_tree_is_acyclic_and_spanning(n in 1usize..60, seed in any::<u64>()) {
+        let g = generators::random_tree(n, seed).unwrap();
+        prop_assert_eq!(g.edge_count(), n.saturating_sub(1));
+        prop_assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_distances_are_lipschitz_on_edges(n in 2usize..30, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let d = metrics::bfs_distances(&g, ProcId(0));
+        for (u, v) in g.edges() {
+            let du = d[u.index()] as i64;
+            let dv = d[v.index()] as i64;
+            prop_assert!((du - dv).abs() <= 1, "edge ({u},{v}): {du} vs {dv}");
+        }
+    }
+
+    #[test]
+    fn diameter_radius_relation(n in 1usize..25, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let diam = metrics::diameter(&g);
+        let rad = metrics::radius(&g);
+        prop_assert!(rad <= diam);
+        prop_assert!(diam <= 2 * rad.max(1) || diam == 0);
+    }
+
+    #[test]
+    fn longest_chordless_path_is_chordless(n in 1usize..16, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let r = chordless::longest(&g, 300_000);
+        prop_assert!(chordless::is_chordless(&g, &r.path));
+        prop_assert!(r.path.len() <= n);
+        if n >= 2 && r.exact {
+            // Any edge is a chordless path of length 1.
+            prop_assert!(r.length() >= 1);
+        }
+    }
+
+    #[test]
+    fn edges_iterator_agrees_with_has_edge(n in 1usize..25, p in 0.0f64..0.4, seed in any::<u64>()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let mut count = 0usize;
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+            count += 1;
+        }
+        prop_assert_eq!(count, g.edge_count());
+        // Degrees sum to twice the edge count.
+        let deg_sum: usize = g.procs().map(|q| g.degree(q)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_and_loop_free(n in 1usize..30, p in 0.0f64..0.4, seed in any::<u64>()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        for q in g.procs() {
+            let ns = g.neighbor_slice(q);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!ns.contains(&q));
+        }
+    }
+}

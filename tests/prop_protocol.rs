@@ -1,0 +1,152 @@
+//! Property-based tests of the protocol: the snap contract, the theorem
+//! bounds, and the structural invariants — over random topologies, random
+//! corruptions, and random schedules.
+
+use pif_core::checker::check_first_wave;
+use pif_core::wave::{UnitAggregate, WaveRunner};
+use pif_core::{analysis, initial, PifProtocol};
+use pif_daemon::daemons::{CentralRandom, DistributedRandom, Synchronous};
+use pif_daemon::{RunLimits, Simulator};
+use pif_graph::{generators, ProcId};
+use proptest::prelude::*;
+
+fn limits() -> RunLimits {
+    RunLimits::new(2_000_000, 400_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// THE property: from any configuration, under a random daemon, the
+    /// first wave satisfies the PIF specification.
+    #[test]
+    fn snap_stabilization_holds(
+        n in 2usize..14,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+        cseed in any::<u64>(),
+        dseed in any::<u64>(),
+        root in 0usize..14,
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let root = ProcId((root % n) as u32);
+        let protocol = PifProtocol::new(root, &g);
+        let init = initial::random_config(&g, &protocol, cseed);
+        let mut daemon = CentralRandom::new(dseed);
+        let report = check_first_wave(g, protocol, init, &mut daemon, limits()).unwrap();
+        prop_assert!(report.holds(), "missed: {:?}", report.missed);
+    }
+
+    /// Theorem 4: cycle rounds from SBN within 5h + 5, any random daemon.
+    #[test]
+    fn cycle_bound_holds(
+        n in 2usize..16,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+        dseed in any::<u64>(),
+        prob in 0.1f64..1.0,
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let mut runner = WaveRunner::new(g, protocol, UnitAggregate);
+        let mut daemon = DistributedRandom::new(prob, dseed);
+        let out = runner.run_cycle_limited(1u8, &mut daemon, limits()).unwrap();
+        prop_assert!(out.satisfies_spec());
+        let h = u64::from(out.height);
+        prop_assert!(out.cycle_rounds <= 5 * h + 5, "{} > {}", out.cycle_rounds, 5 * h + 5);
+    }
+
+    /// Theorem 1: all processors normal within 3·Lmax + 3 rounds.
+    #[test]
+    fn recovery_bound_holds(
+        n in 2usize..12,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+        cseed in any::<u64>(),
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::random_config(&g, &protocol, cseed);
+        let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
+        let proto = protocol.clone();
+        let graph = g.clone();
+        let stats = sim
+            .run_until(&mut Synchronous::first_action(), limits(), move |s| {
+                analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
+            })
+            .unwrap();
+        let bound = 3 * u64::from(protocol.l_max()) + 3;
+        prop_assert!(stats.rounds <= bound, "{} > {}", stats.rounds, bound);
+    }
+
+    /// Property 1 holds in every configuration reachable OR arbitrary.
+    #[test]
+    fn property1_is_universal(
+        n in 2usize..12,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+        cseed in any::<u64>(),
+        steps in 0usize..60,
+        dseed in any::<u64>(),
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::random_config(&g, &protocol, cseed);
+        let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
+        let mut daemon = CentralRandom::new(dseed);
+        for _ in 0..steps {
+            if sim.is_terminal() {
+                break;
+            }
+            sim.step(&mut daemon).unwrap();
+            prop_assert!(analysis::property1_holds(&protocol, &g, sim.states()));
+        }
+    }
+
+    /// Cleaning always returns the system to the normal starting
+    /// configuration, and the classifier agrees.
+    #[test]
+    fn cleaning_restores_sbn(
+        n in 2usize..12,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+        dseed in any::<u64>(),
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::normal_starting(&g);
+        let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
+        let mut daemon = CentralRandom::new(dseed);
+        let stats = sim
+            .run_until(&mut daemon, limits(), |s| {
+                s.steps() > 0 && initial::is_normal_starting(s.states())
+            })
+            .unwrap();
+        prop_assert!(stats.steps > 0);
+        let summary = analysis::classify(&protocol, &g, sim.states());
+        prop_assert!(summary.is(analysis::ConfigClass::StartBroadcastNormal));
+    }
+
+    /// The feedback value aggregated over the dynamic tree is independent
+    /// of daemon, seed and tree shape.
+    #[test]
+    fn aggregation_is_schedule_independent(
+        n in 2usize..12,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+        dseed in any::<u64>(),
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let values: Vec<i64> = (0..n as i64).map(|i| i * 3 - 7).collect();
+        let expected: i64 = values.iter().sum();
+        let mut runner = WaveRunner::new(
+            g,
+            protocol,
+            pif_core::wave::SumAggregate::new(values),
+        );
+        let mut daemon = CentralRandom::new(dseed);
+        let out = runner.run_cycle_limited(1u8, &mut daemon, limits()).unwrap();
+        prop_assert_eq!(out.feedback, Some(expected));
+    }
+}
