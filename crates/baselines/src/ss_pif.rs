@@ -279,11 +279,10 @@ pub fn consecutive_waves(
         let mut completed = false;
         let budget = sim.steps() + limits.max_steps;
         while sim.steps() < budget && !sim.is_terminal() {
-            let report = match sim.step(&mut daemon) {
-                Ok(r) => r,
-                Err(_) => break,
-            };
-            for &(p, a) in &report.executed {
+            if sim.step(&mut daemon).is_err() {
+                break;
+            }
+            for &(p, a) in sim.last_executed() {
                 if p == root && a == SS_B {
                     initiated = true;
                 }

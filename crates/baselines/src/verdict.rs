@@ -79,11 +79,10 @@ where
         {
             break;
         }
-        let report = match sim.step(daemon) {
-            Ok(r) => r,
-            Err(_) => break,
-        };
-        for &(p, a) in &report.executed {
+        if sim.step(daemon).is_err() {
+            break;
+        }
+        for &(p, a) in sim.last_executed() {
             if p == root && a == broadcast_action {
                 initiated = true;
             }

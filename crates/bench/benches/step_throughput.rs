@@ -1,0 +1,33 @@
+//! Criterion group `step_throughput`: raw simulator hot-loop speed.
+//!
+//! Measures the time of one batch of 1000 computation steps of the
+//! arbitrary-network snap PIF under a central daemon, across the three
+//! standard topology families at n ∈ {16, 64, 256, 1024}. Complements
+//! `BENCH_step_throughput.json` (see `exp_step_throughput`), which
+//! records absolute steps/second for baseline-vs-optimized comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pif_bench::step_measure::{Topology, Workload, SIZES};
+
+const BATCH: u64 = 1000;
+
+fn bench_step_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_throughput");
+    for topology in Topology::ALL {
+        for n in SIZES {
+            let mut w = Workload::new(topology, n);
+            w.run_steps(2_000); // warm past the corrected prefix
+            group.bench_with_input(
+                BenchmarkId::new(topology.label(), n),
+                &n,
+                |b, _| b.iter(|| black_box(w.run_steps(BATCH))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(step_throughput, bench_step_throughput);
+criterion_main!(step_throughput);

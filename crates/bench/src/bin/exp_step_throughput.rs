@@ -1,0 +1,42 @@
+//! Emits step-throughput measurements as JSON on stdout.
+//!
+//! Used to produce `BENCH_step_throughput.json`: run once on the
+//! pre-optimisation simulator (label `baseline`), once after (label
+//! `optimized`), and merge. Usage:
+//!
+//! ```text
+//! cargo run --release --bin exp_step_throughput -- <label> [duration_secs]
+//! ```
+
+use pif_bench::step_measure::{measure, Topology, SIZES};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let label = args.next().unwrap_or_else(|| "current".to_string());
+    let duration: f64 = args.next().and_then(|d| d.parse().ok()).unwrap_or(1.0);
+
+    println!("{{");
+    println!("  \"label\": \"{label}\",");
+    println!("  \"unit\": \"steps_per_sec\",");
+    println!("  \"daemon\": \"CentralRandom\",");
+    println!("  \"protocol\": \"PifProtocol (arbitrary-network snap PIF)\",");
+    println!("  \"results\": [");
+    let mut first = true;
+    for t in Topology::ALL {
+        for n in SIZES {
+            let m = measure(t, n, duration);
+            if !first {
+                println!(",");
+            }
+            first = false;
+            print!(
+                "    {{\"topology\": \"{}\", \"n\": {}, \"steps_per_sec\": {:.0}, \"steps\": {}}}",
+                m.topology, m.n, m.steps_per_sec, m.steps
+            );
+            eprintln!("{:>7} n={:<5} {:>12.0} steps/s", m.topology, m.n, m.steps_per_sec);
+        }
+    }
+    println!();
+    println!("  ]");
+    println!("}}");
+}

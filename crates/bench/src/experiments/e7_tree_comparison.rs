@@ -85,9 +85,9 @@ pub fn measure(topology: &Topology) -> TreeCompRow {
         if sim.is_terminal() {
             break;
         }
-        let report = sim.step(&mut d).expect("tree-pif step failed");
+        sim.step(&mut d).expect("tree-pif step failed");
         let mut done = false;
-        for &(p, a) in &report.executed {
+        for &(p, a) in sim.last_executed() {
             if p == root && a == TREE_B {
                 initiated = true;
                 tree_rounds = 0;

@@ -12,4 +12,5 @@ pub mod contestants;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod step_measure;
 pub mod workloads;

@@ -1,6 +1,6 @@
 //! Parallel seed sweeps: experiments run thousands of independent
 //! simulations; this fans them out over the available cores with
-//! crossbeam's scoped threads.
+//! std's scoped threads.
 
 /// Maps `f` over `items` in parallel, preserving input order in the
 /// result.
@@ -42,18 +42,17 @@ where
         chunks.push(c);
     }
 
-    let mapped: Vec<Vec<R>> = crossbeam::thread::scope(|scope| {
+    let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|c| scope.spawn(move |_| c.into_iter().map(f).collect::<Vec<R>>()))
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("experiment worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     mapped.into_iter().flatten().collect()
 }

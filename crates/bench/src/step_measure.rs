@@ -1,0 +1,163 @@
+//! Step-throughput measurement for the simulator hot loop.
+//!
+//! Shared between the `step_throughput` Criterion group and the
+//! `exp_step_throughput` binary that emits `BENCH_step_throughput.json`:
+//! both drive the real [`PifProtocol`](pif_core::PifProtocol) under a
+//! central daemon and count raw computation steps per second.
+//!
+//! The workload deliberately uses a *central* daemon (one processor per
+//! step) so per-step fixed costs — configuration clones, full-network
+//! enabled-set rebuilds, round-accounting scans — dominate and any O(n)
+//! term in the step path shows up as throughput loss at large `n`.
+
+use std::time::Instant;
+
+use pif_core::{initial, PifProtocol};
+use pif_daemon::daemons::CentralRandom;
+use pif_daemon::Simulator;
+use pif_graph::{generators, Graph, ProcId};
+
+/// The benchmark topology families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// A path graph (diameter n-1, degree ≤ 2).
+    Chain,
+    /// A square torus (degree 4, small diameter).
+    Torus,
+    /// A sparse random connected graph.
+    Random,
+}
+
+impl Topology {
+    /// All benchmark families.
+    pub const ALL: [Topology; 3] = [Topology::Chain, Topology::Torus, Topology::Random];
+
+    /// Short lowercase label used in benchmark ids and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::Chain => "chain",
+            Topology::Torus => "torus",
+            Topology::Random => "random",
+        }
+    }
+
+    /// Builds the graph of this family with exactly `n` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a supported size (torus needs a perfect
+    /// square, every family needs `n >= 4`).
+    pub fn build(self, n: usize) -> Graph {
+        match self {
+            Topology::Chain => generators::chain(n).expect("chain size"),
+            Topology::Torus => {
+                let side = (n as f64).sqrt().round() as usize;
+                assert_eq!(side * side, n, "torus size must be a perfect square");
+                generators::torus(side, side).expect("torus size")
+            }
+            // Expected degree ~6 independent of n keeps the per-step
+            // neighborhood work comparable across sizes.
+            Topology::Random => {
+                let p = (6.0 / (n as f64 - 1.0)).min(0.5);
+                generators::random_connected(n, p, 0xBEEF).expect("random size")
+            }
+        }
+    }
+}
+
+/// The benchmark sizes (torus requires perfect squares).
+pub const SIZES: [usize; 4] = [16, 64, 256, 1024];
+
+/// A ready-to-step workload: simulator plus daemon.
+pub struct Workload {
+    /// The simulator, initialised from a random (fuzzed) configuration so
+    /// plenty of guards are enabled from the start.
+    pub sim: Simulator<PifProtocol>,
+    /// The stepping daemon.
+    pub daemon: CentralRandom,
+    seed: u64,
+}
+
+impl Workload {
+    /// Builds the standard workload for one topology/size point.
+    pub fn new(topology: Topology, n: usize) -> Self {
+        let g = topology.build(n);
+        let proto = PifProtocol::new(ProcId(0), &g);
+        let init = initial::random_config(&g, &proto, 0xC0FFEE);
+        Workload { sim: Simulator::new(g, proto, init), daemon: CentralRandom::new(7), seed: 1 }
+    }
+
+    /// Runs `steps` computation steps, re-randomising the configuration if
+    /// the run reaches a terminal configuration (PIF waves eventually
+    /// quiesce once every broadcast has been acknowledged and cleaned).
+    ///
+    /// Returns the number of steps actually executed (always `steps`).
+    pub fn run_steps(&mut self, steps: u64) -> u64 {
+        let mut done = 0;
+        while done < steps {
+            if self.sim.is_terminal() {
+                self.seed = self.seed.wrapping_add(1);
+                let fresh =
+                    initial::random_config(self.sim.graph(), self.sim.protocol(), self.seed);
+                self.sim.set_states(fresh);
+                continue;
+            }
+            self.sim.step(&mut self.daemon).expect("daemon selection valid");
+            done += 1;
+        }
+        done
+    }
+}
+
+/// One measured point for the JSON report.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Topology label.
+    pub topology: &'static str,
+    /// Processor count.
+    pub n: usize,
+    /// Measured steps per second.
+    pub steps_per_sec: f64,
+    /// Steps executed during the measurement window.
+    pub steps: u64,
+}
+
+/// Measures steps/second for one topology/size point: warms up for
+/// `warmup_steps`, then times batches of `batch` steps until
+/// `min_duration_secs` of measured time has accumulated.
+pub fn measure(topology: Topology, n: usize, min_duration_secs: f64) -> Measurement {
+    let mut w = Workload::new(topology, n);
+    w.run_steps(2_000); // warmup: faults corrected, caches hot
+    let batch = 5_000;
+    let mut steps = 0u64;
+    let start = Instant::now();
+    loop {
+        w.run_steps(batch);
+        steps += batch;
+        if start.elapsed().as_secs_f64() >= min_duration_secs {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Measurement { topology: topology.label(), n, steps_per_sec: steps as f64 / secs, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_step_on_every_point() {
+        for t in Topology::ALL {
+            let mut w = Workload::new(t, 16);
+            assert_eq!(w.run_steps(200), 200);
+            assert!(w.sim.steps() > 0);
+        }
+    }
+
+    #[test]
+    fn torus_rejects_non_square() {
+        let r = std::panic::catch_unwind(|| Topology::Torus.build(15));
+        assert!(r.is_err());
+    }
+}

@@ -1,7 +1,7 @@
 //! Runtime checks for the paper's invariants: Property 1, Property 2, and
 //! the chordless-parent-path lemma used by Theorem 4.
 
-use pif_daemon::{ActionId, Observer, View};
+use pif_daemon::{Observer, StepDelta, View};
 use pif_graph::{chordless, Graph, ProcId};
 
 use crate::analysis::trees::legal_tree;
@@ -168,13 +168,7 @@ impl InvariantMonitor {
 }
 
 impl Observer<PifProtocol> for InvariantMonitor {
-    fn step(
-        &mut self,
-        graph: &Graph,
-        _before: &[PifState],
-        after: &[PifState],
-        _executed: &[(ProcId, ActionId)],
-    ) {
+    fn step(&mut self, graph: &Graph, _delta: &StepDelta<'_, PifProtocol>, after: &[PifState]) {
         self.steps_seen += 1;
         if !property1_holds(&self.protocol, graph, after) {
             self.violations.push(Violation { step: self.steps_seen, invariant: "Property 1" });

@@ -19,7 +19,7 @@
 
 use std::fmt;
 
-use pif_daemon::{ActionId, Observer, RunLimits, SimError, Simulator};
+use pif_daemon::{Observer, RunLimits, SimError, Simulator, StepDelta};
 use pif_graph::{Graph, ProcId};
 
 use crate::protocol::{PifProtocol, B_ACTION, F_ACTION};
@@ -276,13 +276,8 @@ impl<M: Clone + PartialEq + fmt::Debug, A: Aggregate> WaveOverlay<M, A> {
 impl<M: Clone + PartialEq + fmt::Debug, A: Aggregate> Observer<PifProtocol>
     for WaveOverlay<M, A>
 {
-    fn step(
-        &mut self,
-        _graph: &Graph,
-        _before: &[PifState],
-        after: &[PifState],
-        executed: &[(ProcId, ActionId)],
-    ) {
+    fn step(&mut self, _graph: &Graph, delta: &StepDelta<'_, PifProtocol>, after: &[PifState]) {
+        let executed = delta.executed();
         self.steps += 1;
         // Root B-action first: it opens a new wave that same step.
         if executed.iter().any(|&(p, a)| p == self.root && a == B_ACTION) {

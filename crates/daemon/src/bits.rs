@@ -1,0 +1,134 @@
+//! Fixed-capacity bitsets backing the simulator's incremental enabled-set
+//! bookkeeping and the round counter's pending set.
+//!
+//! The hot loop needs O(1) membership updates, an O(capacity/64) bulk
+//! copy for round re-seeding, and iteration proportional to the number of
+//! set bits (plus the word scan) — all without allocating after
+//! construction.
+
+/// A set of `usize` keys below a fixed capacity, with a tracked count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl BitSet {
+    /// An empty set over keys `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], count: 0 }
+    }
+
+    /// Number of elements currently in the set.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Inserts `i`; true if it was absent.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        let absent = self.words[w] & m == 0;
+        if absent {
+            self.words[w] |= m;
+            self.count += 1;
+        }
+        absent
+    }
+
+    /// Removes `i`; true if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        let present = self.words[w] & m != 0;
+        if present {
+            self.words[w] &= !m;
+            self.count -= 1;
+        }
+        present
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// Makes `self` an exact copy of `other` (same capacity required).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words.copy_from_slice(&other.words);
+        self.count = other.count;
+    }
+
+    /// The elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_count() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let mut s = BitSet::new(200);
+        for i in [5usize, 64, 63, 199, 128, 0] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn copy_from_replicates() {
+        let mut a = BitSet::new(100);
+        a.insert(3);
+        a.insert(77);
+        let mut b = BitSet::new(100);
+        b.insert(50);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(10);
+        s.insert(4);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(!s.contains(4));
+    }
+}

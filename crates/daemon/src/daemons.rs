@@ -433,13 +433,13 @@ mod tests {
         let g = generators::chain(3).unwrap();
         let mut sim = Simulator::new(g, Countdown, vec![1, 1, 1]);
         let mut d = FixedSchedule::new([vec![ProcId(2)], vec![ProcId(1)]]);
-        let r1 = sim.step(&mut d).unwrap();
-        assert_eq!(r1.executed, vec![(ProcId(2), ActionId(0))]);
-        let r2 = sim.step(&mut d).unwrap();
-        assert_eq!(r2.executed, vec![(ProcId(1), ActionId(0))]);
+        sim.step(&mut d).unwrap();
+        assert_eq!(sim.last_executed(), &[(ProcId(2), ActionId(0))]);
+        sim.step(&mut d).unwrap();
+        assert_eq!(sim.last_executed(), &[(ProcId(1), ActionId(0))]);
         // Script exhausted: falls back to first enabled.
-        let r3 = sim.step(&mut d).unwrap();
-        assert_eq!(r3.executed, vec![(ProcId(0), ActionId(0))]);
+        sim.step(&mut d).unwrap();
+        assert_eq!(sim.last_executed(), &[(ProcId(0), ActionId(0))]);
     }
 
     #[test]
@@ -448,7 +448,10 @@ mod tests {
         let mut sim = Simulator::new(g, Countdown, vec![2; 4]);
         let mut d = CentralSequential::new();
         let order: Vec<ProcId> = (0..4)
-            .map(|_| sim.step(&mut d).unwrap().executed[0].0)
+            .map(|_| {
+                sim.step(&mut d).unwrap();
+                sim.last_executed()[0].0
+            })
             .collect();
         assert_eq!(order, vec![ProcId(0), ProcId(1), ProcId(2), ProcId(3)]);
     }

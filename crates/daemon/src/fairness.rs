@@ -11,7 +11,7 @@
 
 use pif_graph::{Graph, ProcId};
 
-use crate::{ActionId, Observer, Protocol, View};
+use crate::{Observer, Protocol, StepDelta, View};
 
 /// Observer measuring continuous-enabled starvation streaks.
 ///
@@ -84,13 +84,16 @@ impl<P: Protocol> FairnessAuditor<P> {
 }
 
 impl<P: Protocol> Observer<P> for FairnessAuditor<P> {
-    fn step(
-        &mut self,
-        graph: &Graph,
-        before: &[P::State],
-        _after: &[P::State],
-        executed: &[(ProcId, ActionId)],
-    ) {
+    // Starvation is judged against the configuration the daemon chose
+    // from, so the auditor needs the complete pre-step configuration and
+    // accepts the per-step copy that entails.
+    fn needs_full_before(&self) -> bool {
+        true
+    }
+
+    fn step(&mut self, graph: &Graph, delta: &StepDelta<'_, P>, _after: &[P::State]) {
+        let before = delta.before().expect("auditor requested the full before-configuration");
+        let executed = delta.executed();
         let n = graph.len();
         if self.streak.len() != n {
             self.streak = vec![0; n];
@@ -121,7 +124,7 @@ impl<P: Protocol> Observer<P> for FairnessAuditor<P> {
 mod tests {
     use super::*;
     use crate::daemons::{AdversarialLifo, CentralSequential, Synchronous};
-    use crate::{RunLimits, Simulator};
+    use crate::{ActionId, RunLimits, Simulator};
     use pif_graph::generators;
 
     struct Dec;

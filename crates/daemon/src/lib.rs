@@ -71,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bits;
 pub mod daemons;
 mod error;
 pub mod fairness;
@@ -81,7 +82,7 @@ pub mod trace;
 
 pub use error::SimError;
 pub use protocol::{ActionId, EnabledSet, Protocol, View};
-pub use sim::{Observer, RunLimits, RunStats, Simulator, StepReport};
+pub use sim::{Observer, RunLimits, RunStats, Simulator, StepDelta, StepReport};
 
 /// A daemon: the adversary/scheduler choosing, at every computation step, a
 /// non-empty subset of the enabled processors (and for each chosen processor,

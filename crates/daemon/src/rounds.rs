@@ -10,8 +10,17 @@
 //! snapshots the enabled processors; a processor leaves the pending set when
 //! it executes an action or becomes disabled (the disable action). When the
 //! pending set empties, the round is complete.
+//!
+//! The counter is fed *changes*, not full configurations: each step reports
+//! the executed processors plus the processors whose enabled status flipped.
+//! That keeps the per-step cost proportional to the step's footprint
+//! (executed processors and their neighborhood) rather than the network
+//! size; the only O(n)-ish work is an `n/64`-word bitset copy when a round
+//! closes.
 
 use pif_graph::ProcId;
+
+use crate::bits::BitSet;
 
 /// Online round counter for one simulation run. Create it with the initial
 /// enabled set and feed it every computation step.
@@ -25,20 +34,22 @@ use pif_graph::ProcId;
 /// // Processors 0 and 1 enabled initially.
 /// let mut rc = RoundCounter::new([true, true, false].iter().copied());
 /// assert_eq!(rc.completed(), 0);
-/// // p0 executes; p1 still pending: round not over.
-/// let done = rc.observe_step([ProcId(0)].iter().copied(), [true, true, false].iter().copied());
+/// // p0 executes; no enabled flag flips; p1 still pending: round not over.
+/// let done = rc.observe_step([ProcId(0)].iter().copied(), std::iter::empty());
 /// assert!(!done);
 /// // p1 becomes disabled by a neighbor's move: disable action, round over.
-/// let done = rc.observe_step([ProcId(0)].iter().copied(), [true, false, false].iter().copied());
+/// let done = rc.observe_step([ProcId(0)].iter().copied(), [(ProcId(1), false)].iter().copied());
 /// assert!(done);
 /// assert_eq!(rc.completed(), 1);
 /// ```
 #[derive(Clone, Debug)]
 pub struct RoundCounter {
-    /// `pending[p]`: processor `p` was continuously enabled since the start
-    /// of the current round and has not yet executed (or been disabled).
-    pending: Vec<bool>,
-    pending_count: usize,
+    /// Processors continuously enabled since the start of the current round
+    /// that have not yet executed (or been disabled).
+    pending: BitSet,
+    /// Mirror of the currently enabled processors, maintained from the
+    /// reported changes; seeds `pending` when a round closes.
+    enabled: BitSet,
     completed: u64,
 }
 
@@ -49,9 +60,14 @@ impl RoundCounter {
     where
         I: IntoIterator<Item = bool>,
     {
-        let pending: Vec<bool> = enabled.into_iter().collect();
-        let pending_count = pending.iter().filter(|&&b| b).count();
-        RoundCounter { pending, pending_count, completed: 0 }
+        let flags: Vec<bool> = enabled.into_iter().collect();
+        let mut bits = BitSet::new(flags.len());
+        for (i, &en) in flags.iter().enumerate() {
+            if en {
+                bits.insert(i);
+            }
+        }
+        RoundCounter { pending: bits.clone(), enabled: bits, completed: 0 }
     }
 
     /// Number of fully completed rounds so far.
@@ -62,51 +78,40 @@ impl RoundCounter {
 
     /// Processors still owed an action in the current round.
     pub fn pending(&self) -> impl Iterator<Item = ProcId> + '_ {
-        self.pending
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| ProcId::from_index(i))
+        self.pending.iter().map(ProcId::from_index)
     }
 
     /// Records one computation step: `executed` lists the processors that
-    /// executed a protocol action, `enabled_after` flags which processors are
-    /// enabled in the new configuration. Returns `true` when this step
-    /// completed one or more rounds (with an empty network of pending
-    /// processors, each step completes a round trivially).
-    pub fn observe_step<E, A>(&mut self, executed: E, enabled_after: A) -> bool
+    /// executed a protocol action; `enabled_changes` lists every processor
+    /// whose enabled status flipped this step, with its *new* status
+    /// (`true` = became enabled, `false` = became disabled — the latter is
+    /// the disable action). Unchanged processors must not be reported.
+    /// Returns `true` when this step completed a round (with an empty
+    /// network of pending processors, each step completes a round
+    /// trivially).
+    pub fn observe_step<E, C>(&mut self, executed: E, enabled_changes: C) -> bool
     where
         E: IntoIterator<Item = ProcId>,
-        A: IntoIterator<Item = bool> + Clone,
+        C: IntoIterator<Item = (ProcId, bool)>,
     {
         for p in executed {
-            self.clear(p.index());
+            self.pending.remove(p.index());
         }
-        // Disable action: pending processors that are no longer enabled.
-        for (i, en) in enabled_after.clone().into_iter().enumerate() {
-            if !en {
-                self.clear(i);
+        for (p, en) in enabled_changes {
+            if en {
+                self.enabled.insert(p.index());
+            } else {
+                self.enabled.remove(p.index());
+                // Disable action: the processor is no longer owed a move.
+                self.pending.remove(p.index());
             }
         }
-        if self.pending_count == 0 {
+        if self.pending.count() == 0 {
             self.completed += 1;
-            for (i, en) in enabled_after.into_iter().enumerate() {
-                self.pending[i] = en;
-                if en {
-                    self.pending_count += 1;
-                }
-            }
+            self.pending.copy_from(&self.enabled);
             true
         } else {
             false
-        }
-    }
-
-    #[inline]
-    fn clear(&mut self, i: usize) {
-        if self.pending[i] {
-            self.pending[i] = false;
-            self.pending_count -= 1;
         }
     }
 }
@@ -115,19 +120,17 @@ impl RoundCounter {
 mod tests {
     use super::*;
 
-    fn flags(bits: &[u8]) -> Vec<bool> {
-        bits.iter().map(|&b| b != 0).collect()
+    fn changes(v: &[(u32, bool)]) -> Vec<(ProcId, bool)> {
+        v.iter().map(|&(i, b)| (ProcId(i), b)).collect()
     }
 
     #[test]
     fn synchronous_execution_is_one_round_per_step() {
-        // Everyone enabled, everyone executes each step.
-        let mut rc = RoundCounter::new(flags(&[1, 1, 1]));
+        // Everyone enabled, everyone executes each step, everyone stays
+        // enabled (no flips to report).
+        let mut rc = RoundCounter::new([true, true, true]);
         for step in 1..=5u64 {
-            let done = rc.observe_step(
-                (0..3).map(ProcId),
-                flags(&[1, 1, 1]),
-            );
+            let done = rc.observe_step((0..3).map(ProcId), std::iter::empty());
             assert!(done);
             assert_eq!(rc.completed(), step);
         }
@@ -135,27 +138,27 @@ mod tests {
 
     #[test]
     fn central_daemon_round_needs_every_pending_proc() {
-        let mut rc = RoundCounter::new(flags(&[1, 1, 1]));
-        assert!(!rc.observe_step([ProcId(0)], flags(&[1, 1, 1])));
-        assert!(!rc.observe_step([ProcId(1)], flags(&[1, 1, 1])));
-        assert!(rc.observe_step([ProcId(2)], flags(&[1, 1, 1])));
+        let mut rc = RoundCounter::new([true, true, true]);
+        assert!(!rc.observe_step([ProcId(0)], std::iter::empty()));
+        assert!(!rc.observe_step([ProcId(1)], std::iter::empty()));
+        assert!(rc.observe_step([ProcId(2)], std::iter::empty()));
         assert_eq!(rc.completed(), 1);
     }
 
     #[test]
     fn disable_action_counts() {
-        let mut rc = RoundCounter::new(flags(&[1, 1]));
-        // p0 executes, and its move disables p1: both accounted, round done.
-        assert!(rc.observe_step([ProcId(0)], flags(&[0, 0])));
+        let mut rc = RoundCounter::new([true, true]);
+        // p0 executes, and its move disables both: all accounted, round done.
+        assert!(rc.observe_step([ProcId(0)], changes(&[(0, false), (1, false)])));
         assert_eq!(rc.completed(), 1);
     }
 
     #[test]
     fn newly_enabled_mid_round_not_owed() {
         // p2 becomes enabled mid-round; the round only waits for p0 and p1.
-        let mut rc = RoundCounter::new(flags(&[1, 1, 0]));
-        assert!(!rc.observe_step([ProcId(0)], flags(&[1, 1, 1])));
-        assert!(rc.observe_step([ProcId(1)], flags(&[1, 1, 1])));
+        let mut rc = RoundCounter::new([true, true, false]);
+        assert!(!rc.observe_step([ProcId(0)], changes(&[(2, true)])));
+        assert!(rc.observe_step([ProcId(1)], std::iter::empty()));
         assert_eq!(rc.completed(), 1);
         // Next round owes all three.
         let pending: Vec<_> = rc.pending().collect();
@@ -164,23 +167,23 @@ mod tests {
 
     #[test]
     fn terminal_configuration_rounds_are_trivial() {
-        let mut rc = RoundCounter::new(flags(&[0, 0]));
+        let mut rc = RoundCounter::new([false, false]);
         // No one pending: every observation closes a (vacuous) round.
-        assert!(rc.observe_step(std::iter::empty(), flags(&[0, 0])));
+        assert!(rc.observe_step(std::iter::empty(), std::iter::empty()));
         assert_eq!(rc.completed(), 1);
     }
 
     #[test]
     fn re_enabled_processor_is_not_owed_until_next_round() {
-        let mut rc = RoundCounter::new(flags(&[1, 1, 1]));
+        let mut rc = RoundCounter::new([true, true, true]);
         // p1 gets disabled (leaves pending via the disable action), then
         // re-enabled: the current round must not wait for it again, only
         // for p2.
-        assert!(!rc.observe_step([ProcId(0)], flags(&[1, 0, 1])));
-        assert!(!rc.observe_step([ProcId(0)], flags(&[1, 1, 1])));
+        assert!(!rc.observe_step([ProcId(0)], changes(&[(1, false)])));
+        assert!(!rc.observe_step([ProcId(0)], changes(&[(1, true)])));
         let pending: Vec<_> = rc.pending().collect();
         assert_eq!(pending, vec![ProcId(2)]);
-        assert!(rc.observe_step([ProcId(2)], flags(&[1, 1, 1])));
+        assert!(rc.observe_step([ProcId(2)], std::iter::empty()));
         assert_eq!(rc.completed(), 1);
     }
 }

@@ -1,5 +1,6 @@
 use pif_graph::{Graph, ProcId};
 
+use crate::bits::BitSet;
 use crate::rounds::RoundCounter;
 use crate::{ActionId, Daemon, EnabledSet, Protocol, SimError, View};
 
@@ -47,32 +48,74 @@ pub struct RunStats {
 }
 
 /// Outcome of a single computation step.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The report is plain data (no per-step heap allocation); the executed
+/// `(processor, action)` pairs themselves are available from
+/// [`Simulator::last_executed`] until the next step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StepReport {
-    /// The `(processor, action)` pairs that executed.
-    pub executed: Vec<(ProcId, ActionId)>,
+    /// How many processors executed an action in this step.
+    pub executed: usize,
     /// Whether this step completed a round.
     pub round_completed: bool,
     /// Whether the *new* configuration is terminal.
     pub terminal: bool,
 }
 
+/// Sparse description of one computation step, handed to [`Observer`]s.
+///
+/// The delta lists the executed `(processor, action)` pairs along with each
+/// executed processor's *pre-step* state — everything that changed. The
+/// full pre-step configuration is available through [`StepDelta::before`]
+/// only for observers that request it via [`Observer::needs_full_before`]
+/// (it costs a configuration copy per step).
+pub struct StepDelta<'a, P: Protocol> {
+    executed: &'a [(ProcId, ActionId)],
+    old_states: &'a [P::State],
+    before: Option<&'a [P::State]>,
+}
+
+impl<'a, P: Protocol> StepDelta<'a, P> {
+    /// The `(processor, action)` pairs that executed, in selection order.
+    #[inline]
+    pub fn executed(&self) -> &'a [(ProcId, ActionId)] {
+        self.executed
+    }
+
+    /// The executed moves with each processor's pre-step state:
+    /// `(processor, action, old_state)` in selection order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, ActionId, &'a P::State)> + '_ {
+        self.executed.iter().zip(self.old_states).map(|(&(p, a), s)| (p, a, s))
+    }
+
+    /// The full pre-step configuration, present only when the observer
+    /// opted in via [`Observer::needs_full_before`].
+    #[inline]
+    pub fn before(&self) -> Option<&'a [P::State]> {
+        self.before
+    }
+}
+
 /// Observer of executed actions, used to maintain protocol-external overlays
 /// (message registers, delivery logs, invariant monitors) in lockstep with
 /// the simulation.
 ///
-/// `before` and `after` are the configurations around the step; `executed`
-/// lists the chosen `(processor, action)` pairs.
+/// Observers receive a sparse [`StepDelta`] plus the post-step
+/// configuration. Most overlays only need what changed; an observer that
+/// genuinely needs the complete pre-step configuration overrides
+/// [`Observer::needs_full_before`] and pays one configuration copy per
+/// step.
 pub trait Observer<P: Protocol> {
+    /// Whether [`StepDelta::before`] must be populated for this observer.
+    /// Defaults to `false`, keeping the simulator's step path free of the
+    /// full-configuration copy.
+    fn needs_full_before(&self) -> bool {
+        false
+    }
+
     /// Called once per computation step, after the new configuration is in
     /// place.
-    fn step(
-        &mut self,
-        graph: &Graph,
-        before: &[P::State],
-        after: &[P::State],
-        executed: &[(ProcId, ActionId)],
-    );
+    fn step(&mut self, graph: &Graph, delta: &StepDelta<'_, P>, after: &[P::State]);
 }
 
 /// The no-op observer.
@@ -80,7 +123,7 @@ pub trait Observer<P: Protocol> {
 pub struct NoOpObserver;
 
 impl<P: Protocol> Observer<P> for NoOpObserver {
-    fn step(&mut self, _: &Graph, _: &[P::State], _: &[P::State], _: &[(ProcId, ActionId)]) {}
+    fn step(&mut self, _: &Graph, _: &StepDelta<'_, P>, _: &[P::State]) {}
 }
 
 /// Simulator for a [`Protocol`] over a network, under a pluggable
@@ -91,16 +134,46 @@ impl<P: Protocol> Observer<P> for NoOpObserver {
 /// asks the daemon for a non-empty selection, evaluates every selected
 /// action against the old configuration, and applies all updates at once.
 ///
+/// The step path is engineered to cost O(selected × max degree), not O(n):
+/// enabled actions are recomputed only for executed processors and their
+/// neighbors (guards read only the local neighborhood), the enabled-processor
+/// set is maintained incrementally, round accounting is fed the sparse
+/// change-set, and all step scratch buffers are owned by the simulator and
+/// reused — in steady state a step performs no heap allocation.
+///
 /// See the [crate documentation](crate) for a complete example.
 #[derive(Clone, Debug)]
 pub struct Simulator<P: Protocol> {
     graph: Graph,
     protocol: P,
     states: Vec<P::State>,
+    /// Enabled actions per processor, kept current.
     enabled: Vec<Vec<ActionId>>,
+    /// Processors with at least one enabled action, ascending; rebuilt from
+    /// `enabled_bits` only on membership changes.
     enabled_procs: Vec<ProcId>,
+    /// Bitset mirror of `enabled_procs` for O(1) membership tests.
+    enabled_bits: BitSet,
     steps: u64,
     rounds: RoundCounter,
+    /// Whether daemon selections are validated against the model contract.
+    validate: bool,
+    // --- Reused per-step scratch (never reallocated in steady state) ---
+    /// Last step's daemon selection; exposed via `last_executed`.
+    selection: Vec<(ProcId, ActionId)>,
+    /// Pre-step states of the selected processors, parallel to `selection`.
+    old_states: Vec<P::State>,
+    /// Staging for the new states computed against the old configuration.
+    new_states: Vec<P::State>,
+    /// Full pre-step configuration, filled only for observers that ask.
+    before_scratch: Vec<P::State>,
+    /// Epoch stamps marking processors as seen/dirty without clearing.
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// Processors whose guards must be re-evaluated after a step.
+    dirty: Vec<ProcId>,
+    /// Enabled-status flips of the last step, fed to the round counter.
+    changes: Vec<(ProcId, bool)>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -111,18 +184,39 @@ impl<P: Protocol> Simulator<P> {
     /// Panics if `init.len() != graph.len()`.
     pub fn new(graph: Graph, protocol: P, init: Vec<P::State>) -> Self {
         assert_eq!(graph.len(), init.len(), "initial configuration must cover every processor");
-        let mut sim = Simulator {
-            enabled: vec![Vec::new(); graph.len()],
-            enabled_procs: Vec::new(),
+        let n = graph.len();
+        let mut enabled = vec![Vec::new(); n];
+        for p in graph.procs() {
+            protocol.enabled_actions(View::new(&graph, &init, p), &mut enabled[p.index()]);
+        }
+        let mut enabled_bits = BitSet::new(n);
+        let mut enabled_procs = Vec::with_capacity(n);
+        for p in graph.procs() {
+            if !enabled[p.index()].is_empty() {
+                enabled_bits.insert(p.index());
+                enabled_procs.push(p);
+            }
+        }
+        let rounds = RoundCounter::new(enabled.iter().map(|a| !a.is_empty()));
+        Simulator {
             graph,
             protocol,
             states: init,
+            enabled,
+            enabled_procs,
+            enabled_bits,
             steps: 0,
-            rounds: RoundCounter::new(std::iter::repeat_n(false, 0)),
-        };
-        sim.recompute_enabled();
-        sim.rounds = RoundCounter::new(sim.enabled.iter().map(|a| !a.is_empty()));
-        sim
+            rounds,
+            validate: cfg!(debug_assertions),
+            selection: Vec::new(),
+            old_states: Vec::new(),
+            new_states: Vec::new(),
+            before_scratch: Vec::new(),
+            stamp: vec![0; n],
+            epoch: 0,
+            dirty: Vec::with_capacity(n),
+            changes: Vec::with_capacity(n),
+        }
     }
 
     /// The network topology.
@@ -149,22 +243,39 @@ impl<P: Protocol> Simulator<P> {
         &self.states[p.index()]
     }
 
+    /// Enables or disables daemon-selection validation
+    /// ([`SimError::InvalidSelection`] checks beyond the mandatory
+    /// empty-selection test). Defaults to on in debug builds and off in
+    /// release builds; conformance tests switch it on explicitly.
+    ///
+    /// With validation off, a daemon that selects an out-of-range
+    /// processor still panics (index out of bounds), but duplicate or
+    /// not-enabled selections go undetected — only disable it for trusted
+    /// daemons on hot paths.
+    pub fn set_validation(&mut self, on: bool) {
+        self.validate = on;
+    }
+
+    /// Whether daemon-selection validation is currently enabled.
+    #[inline]
+    pub fn validation(&self) -> bool {
+        self.validate
+    }
+
     /// Overwrites the configuration (e.g. to inject faults mid-run) and
     /// recomputes the enabled set. Round accounting restarts from the new
     /// configuration.
     pub fn set_states(&mut self, states: Vec<P::State>) {
         assert_eq!(self.graph.len(), states.len());
         self.states = states;
-        self.recompute_enabled();
-        self.rounds = RoundCounter::new(self.enabled.iter().map(|a| !a.is_empty()));
+        self.reset_bookkeeping();
     }
 
     /// Overwrites a single processor's state (fault injection) and
     /// recomputes bookkeeping, restarting round accounting.
     pub fn corrupt(&mut self, p: ProcId, state: P::State) {
         self.states[p.index()] = state;
-        self.recompute_enabled();
-        self.rounds = RoundCounter::new(self.enabled.iter().map(|a| !a.is_empty()));
+        self.reset_bookkeeping();
     }
 
     /// Computation steps executed so far.
@@ -198,6 +309,13 @@ impl<P: Protocol> Simulator<P> {
         &self.enabled[p.index()]
     }
 
+    /// The `(processor, action)` pairs executed by the most recent step
+    /// (empty before the first step and after a terminal no-op step).
+    #[inline]
+    pub fn last_executed(&self) -> &[(ProcId, ActionId)] {
+        &self.selection
+    }
+
     /// A read view of processor `p` in the current configuration.
     pub fn view(&self, p: ProcId) -> View<'_, P::State> {
         View::new(&self.graph, &self.states, p)
@@ -223,9 +341,11 @@ impl<P: Protocol> Simulator<P> {
         observer: &mut dyn Observer<P>,
     ) -> Result<StepReport, SimError> {
         if self.is_terminal() {
-            return Ok(StepReport { executed: Vec::new(), round_completed: false, terminal: true });
+            self.selection.clear();
+            return Ok(StepReport { executed: 0, round_completed: false, terminal: true });
         }
-        let mut selection = Vec::new();
+        let mut selection = std::mem::take(&mut self.selection);
+        selection.clear();
         {
             let snapshot = EnabledSet::new(
                 &self.graph,
@@ -236,28 +356,59 @@ impl<P: Protocol> Simulator<P> {
             );
             daemon.select(&snapshot, &mut selection);
         }
-        self.validate_selection(&selection)?;
+        if selection.is_empty() {
+            self.selection = selection;
+            return Err(SimError::InvalidSelection {
+                reason: "empty selection while processors are enabled".into(),
+                proc: None,
+                action: None,
+            });
+        }
+        if self.validate {
+            if let Err(e) = self.validate_selection(&selection) {
+                self.selection = selection;
+                return Err(e);
+            }
+        }
+
+        // Observers needing the full pre-step configuration get it from a
+        // reused buffer; nobody else pays for the copy.
+        let needs_before = observer.needs_full_before();
+        if needs_before {
+            self.before_scratch.clone_from(&self.states);
+        }
 
         // Evaluate all selected actions against the OLD configuration, then
         // apply simultaneously (composite atomicity, distributed daemon).
-        let mut updates = Vec::with_capacity(selection.len());
+        let mut new_states = std::mem::take(&mut self.new_states);
+        new_states.clear();
         for &(p, a) in &selection {
             let view = View::new(&self.graph, &self.states, p);
-            updates.push((p, self.protocol.execute(view, a)));
+            new_states.push(self.protocol.execute(view, a));
         }
-        let before = self.states.clone();
-        for (p, s) in updates {
-            self.states[p.index()] = s;
+        let mut old_states = std::mem::take(&mut self.old_states);
+        old_states.clear();
+        for (&(p, _), new) in selection.iter().zip(new_states.drain(..)) {
+            old_states.push(std::mem::replace(&mut self.states[p.index()], new));
         }
         self.steps += 1;
         self.recompute_enabled_after(&selection);
-        observer.step(&self.graph, &before, &self.states, &selection);
 
-        let round_completed = self.rounds.observe_step(
-            selection.iter().map(|&(p, _)| p),
-            self.enabled.iter().map(|a| !a.is_empty()),
-        );
-        Ok(StepReport { executed: selection, round_completed, terminal: self.is_terminal() })
+        let delta = StepDelta {
+            executed: &selection,
+            old_states: &old_states,
+            before: needs_before.then_some(self.before_scratch.as_slice()),
+        };
+        observer.step(&self.graph, &delta, &self.states);
+
+        let round_completed = self
+            .rounds
+            .observe_step(selection.iter().map(|&(p, _)| p), self.changes.iter().copied());
+        let executed = selection.len();
+        self.selection = selection;
+        self.old_states = old_states;
+        self.new_states = new_states;
+        Ok(StepReport { executed, round_completed, terminal: self.is_terminal() })
     }
 
     /// Runs until `target` holds (checked before every step), the
@@ -337,15 +488,11 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    fn validate_selection(&self, selection: &[(ProcId, ActionId)]) -> Result<(), SimError> {
-        if selection.is_empty() {
-            return Err(SimError::InvalidSelection {
-                reason: "empty selection while processors are enabled".into(),
-                proc: None,
-                action: None,
-            });
-        }
-        let mut seen = vec![false; self.graph.len()];
+    /// Validates the model contract on a daemon selection, using the epoch
+    /// stamps for the duplicate check (no per-step allocation).
+    fn validate_selection(&mut self, selection: &[(ProcId, ActionId)]) -> Result<(), SimError> {
+        self.epoch += 1;
+        let epoch = self.epoch;
         for &(p, a) in selection {
             if p.index() >= self.graph.len() {
                 return Err(SimError::InvalidSelection {
@@ -354,14 +501,14 @@ impl<P: Protocol> Simulator<P> {
                     action: Some(a),
                 });
             }
-            if seen[p.index()] {
+            if self.stamp[p.index()] == epoch {
                 return Err(SimError::InvalidSelection {
                     reason: "processor selected twice".into(),
                     proc: Some(p),
                     action: Some(a),
                 });
             }
-            seen[p.index()] = true;
+            self.stamp[p.index()] = epoch;
             if !self.enabled[p.index()].contains(&a) {
                 return Err(SimError::InvalidSelection {
                     reason: "action not enabled for processor".into(),
@@ -373,49 +520,71 @@ impl<P: Protocol> Simulator<P> {
         Ok(())
     }
 
-    fn recompute_enabled(&mut self) {
-        let mut buf = Vec::new();
+    /// Recomputes the enabled sets from scratch and restarts round
+    /// accounting (used on configuration overwrites, never per step).
+    fn reset_bookkeeping(&mut self) {
         for p in self.graph.procs() {
-            buf.clear();
-            let view = View::new(&self.graph, &self.states, p);
-            self.protocol.enabled_actions(view, &mut buf);
-            self.enabled[p.index()].clear();
-            self.enabled[p.index()].extend_from_slice(&buf);
+            let acts = &mut self.enabled[p.index()];
+            acts.clear();
+            self.protocol.enabled_actions(View::new(&self.graph, &self.states, p), acts);
         }
-        self.rebuild_enabled_procs();
+        self.enabled_bits.clear();
+        self.enabled_procs.clear();
+        for p in self.graph.procs() {
+            if !self.enabled[p.index()].is_empty() {
+                self.enabled_bits.insert(p.index());
+                self.enabled_procs.push(p);
+            }
+        }
+        self.selection.clear();
+        self.rounds = RoundCounter::new(self.enabled.iter().map(|a| !a.is_empty()));
     }
 
     /// Recomputes enabled actions only where they can have changed: the
     /// executed processors and their neighbors (guards read only the local
-    /// neighborhood).
+    /// neighborhood). Membership changes update the bitset and the round
+    /// counter's change feed; the ascending `enabled_procs` list is rebuilt
+    /// from the bitset (an `n/64`-word scan) only when membership actually
+    /// changed.
     fn recompute_enabled_after(&mut self, executed: &[(ProcId, ActionId)]) {
-        let mut dirty = vec![false; self.graph.len()];
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.dirty.clear();
         for &(p, _) in executed {
-            dirty[p.index()] = true;
+            if self.stamp[p.index()] != epoch {
+                self.stamp[p.index()] = epoch;
+                self.dirty.push(p);
+            }
             for q in self.graph.neighbors(p) {
-                dirty[q.index()] = true;
+                if self.stamp[q.index()] != epoch {
+                    self.stamp[q.index()] = epoch;
+                    self.dirty.push(q);
+                }
             }
         }
-        let mut buf = Vec::new();
-        for p in self.graph.procs() {
-            if !dirty[p.index()] {
-                continue;
+        self.changes.clear();
+        let mut membership_changed = false;
+        for i in 0..self.dirty.len() {
+            let p = self.dirty[i];
+            let was = self.enabled_bits.contains(p.index());
+            let acts = &mut self.enabled[p.index()];
+            acts.clear();
+            self.protocol.enabled_actions(View::new(&self.graph, &self.states, p), acts);
+            let now = !self.enabled[p.index()].is_empty();
+            if was != now {
+                membership_changed = true;
+                if now {
+                    self.enabled_bits.insert(p.index());
+                } else {
+                    self.enabled_bits.remove(p.index());
+                }
+                self.changes.push((p, now));
             }
-            buf.clear();
-            let view = View::new(&self.graph, &self.states, p);
-            self.protocol.enabled_actions(view, &mut buf);
-            self.enabled[p.index()].clear();
-            self.enabled[p.index()].extend_from_slice(&buf);
         }
-        self.rebuild_enabled_procs();
-    }
-
-    fn rebuild_enabled_procs(&mut self) {
-        self.enabled_procs.clear();
-        for p in self.graph.procs() {
-            if !self.enabled[p.index()].is_empty() {
-                self.enabled_procs.push(p);
-            }
+        if membership_changed {
+            self.enabled_procs.clear();
+            let bits = &self.enabled_bits;
+            self.enabled_procs.extend(bits.iter().map(ProcId::from_index));
         }
     }
 }
@@ -465,7 +634,8 @@ mod tests {
         assert!(sim.is_terminal());
         let rep = sim.step(&mut Synchronous::first_action()).unwrap();
         assert!(rep.terminal);
-        assert!(rep.executed.is_empty());
+        assert_eq!(rep.executed, 0);
+        assert!(sim.last_executed().is_empty());
         assert_eq!(sim.steps(), 0);
     }
 
@@ -475,7 +645,8 @@ mod tests {
         let mut sim = Simulator::new(g, PushRight, vec![5, 5, 5, 0]);
         let mut d = CentralSequential::new();
         let rep = sim.step(&mut d).unwrap();
-        assert_eq!(rep.executed.len(), 1);
+        assert_eq!(rep.executed, 1);
+        assert_eq!(sim.last_executed().len(), 1);
     }
 
     #[test]
@@ -530,6 +701,32 @@ mod tests {
     }
 
     #[test]
+    fn validation_catches_duplicate_selection() {
+        struct DupDaemon;
+        impl Daemon<i32> for DupDaemon {
+            fn select(
+                &mut self,
+                snap: &EnabledSet<'_, i32>,
+                out: &mut Vec<(ProcId, ActionId)>,
+            ) {
+                let p = snap.enabled_procs()[0];
+                let a = snap.actions_of(p)[0];
+                out.push((p, a));
+                out.push((p, a));
+            }
+        }
+        let g = generators::chain(2).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![5, 0]);
+        sim.set_validation(true);
+        let err = sim.step(&mut DupDaemon).unwrap_err();
+        assert!(matches!(err, SimError::InvalidSelection { .. }));
+        // With validation off the duplicate goes through unchecked.
+        let mut sim = Simulator::new(generators::chain(2).unwrap(), PushRight, vec![5, 0]);
+        sim.set_validation(false);
+        assert!(sim.step(&mut DupDaemon).is_ok());
+    }
+
+    #[test]
     fn corrupt_restarts_round_accounting() {
         let g = generators::chain(3).unwrap();
         let mut sim = Simulator::new(g, PushRight, vec![0, 0, 0]);
@@ -543,8 +740,8 @@ mod tests {
     fn observer_sees_every_step() {
         struct Counter(u64);
         impl Observer<PushRight> for Counter {
-            fn step(&mut self, _: &Graph, _: &[i32], _: &[i32], ex: &[(ProcId, ActionId)]) {
-                self.0 += ex.len() as u64;
+            fn step(&mut self, _: &Graph, delta: &StepDelta<'_, PushRight>, _: &[i32]) {
+                self.0 += delta.executed().len() as u64;
             }
         }
         let g = generators::chain(3).unwrap();
@@ -559,6 +756,38 @@ mod tests {
         )
         .unwrap();
         assert!(obs.0 > 0);
+    }
+
+    #[test]
+    fn delta_reports_old_states_and_full_before_on_request() {
+        struct Checker {
+            saw: u64,
+        }
+        impl Observer<PushRight> for Checker {
+            fn needs_full_before(&self) -> bool {
+                true
+            }
+            fn step(&mut self, _: &Graph, delta: &StepDelta<'_, PushRight>, after: &[i32]) {
+                let before = delta.before().expect("requested full before");
+                for (p, _a, old) in delta.iter() {
+                    assert_eq!(before[p.index()], *old);
+                    assert_eq!(after[p.index()], *old - 1);
+                }
+                self.saw += delta.executed().len() as u64;
+            }
+        }
+        let g = generators::chain(3).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![3, 2, 0]);
+        let mut obs = Checker { saw: 0 };
+        let mut target = |_: &Simulator<PushRight>| false;
+        sim.run_until_observed(
+            &mut Synchronous::first_action(),
+            &mut obs,
+            RunLimits::default(),
+            &mut target,
+        )
+        .unwrap();
+        assert!(obs.saw > 0);
     }
 
     #[test]

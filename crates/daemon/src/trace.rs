@@ -3,7 +3,7 @@
 
 use pif_graph::{Graph, ProcId};
 
-use crate::{ActionId, Observer, Protocol};
+use crate::{ActionId, Observer, Protocol, StepDelta};
 
 /// One recorded computation step.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -130,14 +130,8 @@ impl<P: Protocol> Default for Trace<P> {
 }
 
 impl<P: Protocol> Observer<P> for Trace<P> {
-    fn step(
-        &mut self,
-        _graph: &Graph,
-        _before: &[P::State],
-        after: &[P::State],
-        executed: &[(ProcId, ActionId)],
-    ) {
-        self.steps.push(TraceStep { step: self.next_index, executed: executed.to_vec() });
+    fn step(&mut self, _graph: &Graph, delta: &StepDelta<'_, P>, after: &[P::State]) {
+        self.steps.push(TraceStep { step: self.next_index, executed: delta.executed().to_vec() });
         self.next_index += 1;
         if let Some(cfgs) = &mut self.configurations {
             cfgs.push(after.to_vec());

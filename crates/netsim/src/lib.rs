@@ -131,8 +131,17 @@ pub struct NetSimulator<P: Protocol> {
     channel: Vec<Vec<VecDeque<P::State>>>,
     /// Whether the random scheduler occasionally fires heartbeats.
     heartbeats: bool,
+    /// `rev[p][k]` — the position of `p` in the neighbor list of its
+    /// `k`-th neighbor, so a send needs no per-message binary search.
+    rev: Vec<Vec<usize>>,
     executions: u64,
     deliveries: u64,
+    // Scratch buffers reused across events (contents meaningless between
+    // calls); `mem::take`n while in use to satisfy the borrow checker.
+    view_scratch: Vec<P::State>,
+    actions_scratch: Vec<ActionId>,
+    exec_scratch: Vec<ProcId>,
+    deliver_scratch: Vec<LinkId>,
 }
 
 impl<P: Protocol> NetSimulator<P> {
@@ -148,6 +157,20 @@ impl<P: Protocol> NetSimulator<P> {
             .procs()
             .map(|p| (0..graph.degree(p)).map(|_| VecDeque::new()).collect())
             .collect();
+        let rev = graph
+            .procs()
+            .map(|p| {
+                graph
+                    .neighbors(p)
+                    .map(|q| {
+                        graph
+                            .neighbor_slice(q)
+                            .binary_search(&p)
+                            .expect("p is q's neighbor")
+                    })
+                    .collect()
+            })
+            .collect();
         NetSimulator {
             graph,
             protocol,
@@ -155,8 +178,13 @@ impl<P: Protocol> NetSimulator<P> {
             cache,
             channel,
             heartbeats: true,
+            rev,
             executions: 0,
             deliveries: 0,
+            view_scratch: Vec::new(),
+            actions_scratch: Vec::new(),
+            exec_scratch: Vec::new(),
+            deliver_scratch: Vec::new(),
         }
     }
 
@@ -175,9 +203,8 @@ impl<P: Protocol> NetSimulator<P> {
     /// express.
     pub fn scramble_caches(&mut self, mut f: impl FnMut(ProcId, ProcId) -> P::State) {
         for p in self.graph.procs() {
-            let neighbors: Vec<ProcId> = self.graph.neighbors(p).collect();
-            for (k, q) in neighbors.iter().enumerate() {
-                self.cache[p.index()][k] = f(p, *q);
+            for (k, q) in self.graph.neighbors(p).enumerate() {
+                self.cache[p.index()][k] = f(p, q);
             }
         }
     }
@@ -206,21 +233,22 @@ impl<P: Protocol> NetSimulator<P> {
         }
     }
 
-    /// The local view processor `p` acts on: its own true state plus its
-    /// caches (other processors' slots hold `p`'s own state; protocols
-    /// never read non-neighbors).
-    fn local_view(&self, p: ProcId) -> Vec<P::State> {
-        let mut v: Vec<P::State> =
-            (0..self.graph.len()).map(|_| self.states[p.index()].clone()).collect();
+    /// Fills `buf` with the local view processor `p` acts on: its own
+    /// true state plus its caches (other processors' slots hold `p`'s own
+    /// state; protocols never read non-neighbors). Reusing the caller's
+    /// buffer keeps the event loop allocation-free once warmed up.
+    fn local_view_into(&self, p: ProcId, buf: &mut Vec<P::State>) {
+        buf.clear();
+        buf.extend((0..self.graph.len()).map(|_| self.states[p.index()].clone()));
         for (k, q) in self.graph.neighbors(p).enumerate() {
-            v[q.index()] = self.cache[p.index()][k].clone();
+            buf[q.index()] = self.cache[p.index()][k].clone();
         }
-        v
     }
 
     /// The actions `p` believes are enabled (judged on its caches).
     pub fn enabled_actions(&self, p: ProcId) -> Vec<ActionId> {
-        let local = self.local_view(p);
+        let mut local = Vec::new();
+        self.local_view_into(p, &mut local);
         let mut out = Vec::new();
         self.protocol.enabled_actions(View::new(&self.graph, &local, p), &mut out);
         out
@@ -238,38 +266,37 @@ impl<P: Protocol> NetSimulator<P> {
     pub fn apply(&mut self, event: Event) -> Effect {
         match event {
             Event::Execute(p) => {
-                let local = self.local_view(p);
-                let mut actions = Vec::new();
+                let mut local = std::mem::take(&mut self.view_scratch);
+                let mut actions = std::mem::take(&mut self.actions_scratch);
+                self.local_view_into(p, &mut local);
+                actions.clear();
                 self.protocol
                     .enabled_actions(View::new(&self.graph, &local, p), &mut actions);
-                let Some(&a) = actions.first() else {
-                    return Effect::Nothing;
-                };
-                let next = self.protocol.execute(View::new(&self.graph, &local, p), a);
-                if next != self.states[p.index()] {
-                    // Broadcast the new state to every neighbor.
-                    for q in self.graph.neighbors(p) {
-                        let k = self
-                            .graph
-                            .neighbor_slice(q)
-                            .binary_search(&p)
-                            .expect("p is q's neighbor");
-                        self.channel[q.index()][k].push_back(next.clone());
+                let effect = match actions.first() {
+                    None => Effect::Nothing,
+                    Some(&a) => {
+                        let next = self.protocol.execute(View::new(&self.graph, &local, p), a);
+                        if next != self.states[p.index()] {
+                            // Broadcast the new state to every neighbor.
+                            for (k, q) in self.graph.neighbors(p).enumerate() {
+                                let slot = self.rev[p.index()][k];
+                                self.channel[q.index()][slot].push_back(next.clone());
+                            }
+                        }
+                        self.states[p.index()] = next;
+                        self.executions += 1;
+                        Effect::Executed(p, a)
                     }
-                }
-                self.states[p.index()] = next;
-                self.executions += 1;
-                Effect::Executed(p, a)
+                };
+                self.view_scratch = local;
+                self.actions_scratch = actions;
+                effect
             }
             Event::Heartbeat(p) => {
                 let state = self.states[p.index()].clone();
-                for q in self.graph.neighbors(p) {
-                    let k = self
-                        .graph
-                        .neighbor_slice(q)
-                        .binary_search(&p)
-                        .expect("p is q's neighbor");
-                    self.channel[q.index()][k].push_back(state.clone());
+                for (k, q) in self.graph.neighbors(p).enumerate() {
+                    let slot = self.rev[p.index()][k];
+                    self.channel[q.index()][slot].push_back(state.clone());
                 }
                 Effect::Sent(p)
             }
@@ -295,44 +322,52 @@ impl<P: Protocol> NetSimulator<P> {
     /// heartbeats). Returns the effect, or `None` if the system is
     /// quiescent with heartbeats disabled.
     pub fn step_random(&mut self, rng: &mut StdRng, delivery_bias: f64) -> Option<Effect> {
-        let executable: Vec<ProcId> = self
-            .graph
-            .procs()
-            .filter(|&p| !self.enabled_actions(p).is_empty())
-            .collect();
-        let deliverable: Vec<LinkId> = self
-            .graph
-            .procs()
-            .flat_map(|p| {
-                let ch = &self.channel[p.index()];
-                self.graph
-                    .neighbors(p)
-                    .enumerate()
-                    .filter(|&(k, _)| !ch[k].is_empty())
-                    .map(move |(_, q)| LinkId { from: q, to: p })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        if executable.is_empty() && deliverable.is_empty() {
-            if !self.heartbeats {
-                return None;
+        let mut executable = std::mem::take(&mut self.exec_scratch);
+        let mut deliverable = std::mem::take(&mut self.deliver_scratch);
+        let mut local = std::mem::take(&mut self.view_scratch);
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        executable.clear();
+        deliverable.clear();
+        for p in self.graph.procs() {
+            self.local_view_into(p, &mut local);
+            actions.clear();
+            self.protocol.enabled_actions(View::new(&self.graph, &local, p), &mut actions);
+            if !actions.is_empty() {
+                executable.push(p);
             }
-            let p = ProcId::from_index(rng.random_range(0..self.graph.len()));
-            return Some(self.apply(Event::Heartbeat(p)));
+            let ch = &self.channel[p.index()];
+            for (k, q) in self.graph.neighbors(p).enumerate() {
+                if !ch[k].is_empty() {
+                    deliverable.push(LinkId { from: q, to: p });
+                }
+            }
         }
-        if self.heartbeats && rng.random_bool(0.02) {
-            let p = ProcId::from_index(rng.random_range(0..self.graph.len()));
-            return Some(self.apply(Event::Heartbeat(p)));
-        }
-        let deliver =
-            !deliverable.is_empty() && (executable.is_empty() || rng.random_bool(delivery_bias));
-        Some(if deliver {
-            let l = deliverable[rng.random_range(0..deliverable.len())];
-            self.apply(Event::Deliver(l))
+        self.view_scratch = local;
+        self.actions_scratch = actions;
+        // Pick the event first, restore the scratch buffers, then apply —
+        // `apply` takes its own turn with the view/action scratch.
+        let event = if executable.is_empty() && deliverable.is_empty() {
+            if !self.heartbeats {
+                None
+            } else {
+                Some(Event::Heartbeat(ProcId::from_index(
+                    rng.random_range(0..self.graph.len()),
+                )))
+            }
+        } else if self.heartbeats && rng.random_bool(0.02) {
+            Some(Event::Heartbeat(ProcId::from_index(rng.random_range(0..self.graph.len()))))
         } else {
-            let p = executable[rng.random_range(0..executable.len())];
-            self.apply(Event::Execute(p))
-        })
+            let deliver = !deliverable.is_empty()
+                && (executable.is_empty() || rng.random_bool(delivery_bias));
+            Some(if deliver {
+                Event::Deliver(deliverable[rng.random_range(0..deliverable.len())])
+            } else {
+                Event::Execute(executable[rng.random_range(0..executable.len())])
+            })
+        };
+        self.exec_scratch = executable;
+        self.deliver_scratch = deliverable;
+        event.map(|e| self.apply(e))
     }
 
     /// Runs under a seeded random fair scheduler until quiescence (no

@@ -191,14 +191,22 @@ impl StateSpace {
     }
 
     /// Decodes a configuration id into register states.
-    pub fn decode(&self, mut id: u64) -> Vec<PifState> {
+    pub fn decode(&self, id: u64) -> Vec<PifState> {
         let mut out = Vec::with_capacity(self.domains.len());
+        self.decode_into(id, &mut out);
+        out
+    }
+
+    /// Decodes into a caller-owned buffer — the search loops decode one
+    /// configuration per dequeued product state, and reusing the buffer
+    /// keeps them allocation-free after warmup.
+    fn decode_into(&self, mut id: u64, out: &mut Vec<PifState>) {
+        out.clear();
         for d in &self.domains {
             let i = (id % d.len() as u64) as usize;
             id /= d.len() as u64;
             out.push(d[i]);
         }
-        out
     }
 
     /// Encodes register states into a configuration id.
@@ -217,16 +225,14 @@ impl StateSpace {
         id
     }
 
-    /// Enabled actions of every processor in `states`.
-    fn enabled(&self, states: &[PifState]) -> Vec<Vec<ActionId>> {
-        let mut out = Vec::with_capacity(states.len());
-        let mut buf = Vec::new();
-        for p in self.graph.procs() {
-            buf.clear();
-            self.protocol.enabled_actions(View::new(&self.graph, states, p), &mut buf);
-            out.push(buf.clone());
+    /// Enabled actions of every processor in `states`, filled into a
+    /// caller-owned buffer whose inner vectors are reused across calls.
+    fn enabled_into(&self, states: &[PifState], out: &mut Vec<Vec<ActionId>>) {
+        out.resize_with(self.graph.len(), Vec::new);
+        for (i, p) in self.graph.procs().enumerate() {
+            out[i].clear();
+            self.protocol.enabled_actions(View::new(&self.graph, states, p), &mut out[i]);
         }
-        out
     }
 
     /// Evaluates `predicate` over **every** configuration, returning the
@@ -294,12 +300,23 @@ impl StateSpace {
         let mut violations: Vec<Vec<PifState>> = Vec::new();
         let mut states_explored = 0u64;
 
+        // Scratch reused across the whole search: one decode / enabled
+        // evaluation / successor per iteration, zero steady-state allocs.
+        let mut states: Vec<PifState> = Vec::with_capacity(n);
+        let mut next: Vec<PifState> = Vec::with_capacity(n);
+        let mut enabled: Vec<Vec<ActionId>> = Vec::new();
+        let mut next_enabled_buf: Vec<Vec<ActionId>> = Vec::new();
+        let mut procs: Vec<usize> = Vec::with_capacity(n);
+        let mut option_counts: Vec<usize> = Vec::with_capacity(n);
+        let mut selection: Vec<(usize, ActionId)> = Vec::with_capacity(n);
+
         for cfg in 0..self.total {
-            let states = self.decode(cfg);
+            self.decode_into(cfg, &mut states);
             if !abnormal(&states) {
                 continue; // already normal: nothing to verify
             }
-            let pending = enabled_mask(&self.enabled(&states));
+            self.enabled_into(&states, &mut enabled);
+            let pending = enabled_mask(&enabled);
             if seen.insert(pack(cfg, pending, 0)) {
                 queue.push_back((cfg, pending, 0));
             }
@@ -307,18 +324,19 @@ impl StateSpace {
 
         while let Some((cfg, pending, rounds)) = queue.pop_front() {
             states_explored += 1;
-            let states = self.decode(cfg);
-            let enabled = self.enabled(&states);
-            let procs: Vec<usize> = (0..n).filter(|&i| !enabled[i].is_empty()).collect();
+            self.decode_into(cfg, &mut states);
+            self.enabled_into(&states, &mut enabled);
+            procs.clear();
+            procs.extend((0..n).filter(|&i| !enabled[i].is_empty()));
             if procs.is_empty() {
                 continue; // deadlock (reported by check_no_deadlock)
             }
-            let option_counts: Vec<usize> =
-                procs.iter().map(|&i| enabled[i].len() + 1).collect();
+            option_counts.clear();
+            option_counts.extend(procs.iter().map(|&i| enabled[i].len() + 1));
             let combos: usize = option_counts.iter().product();
             for combo in 1..combos {
                 let mut c = combo;
-                let mut selection: Vec<(usize, ActionId)> = Vec::new();
+                selection.clear();
                 for (k, &i) in procs.iter().enumerate() {
                     let choice = c % option_counts[k];
                     c /= option_counts[k];
@@ -326,7 +344,8 @@ impl StateSpace {
                         selection.push((i, enabled[i][choice - 1]));
                     }
                 }
-                let mut next = states.clone();
+                next.clear();
+                next.extend_from_slice(&states);
                 for &(i, a) in &selection {
                     next[i] = self.protocol.execute(
                         View::new(&self.graph, &states, ProcId::from_index(i)),
@@ -336,7 +355,8 @@ impl StateSpace {
                 if !abnormal(&next) {
                     continue; // goal reached on this branch
                 }
-                let next_enabled = enabled_mask(&self.enabled(&next));
+                self.enabled_into(&next, &mut next_enabled_buf);
+                let next_enabled = enabled_mask(&next_enabled_buf);
                 // Round accounting: executed and now-disabled processors
                 // leave the pending set.
                 let mut pending2 = pending;
@@ -392,21 +412,32 @@ impl StateSpace {
         let mut transitions = 0u64;
         let mut violations: Vec<SnapViolation> = Vec::new();
 
+        // Scratch reused across the whole search (see
+        // `check_correction_bound`).
+        let mut states: Vec<PifState> = Vec::with_capacity(n);
+        let mut next: Vec<PifState> = Vec::with_capacity(n);
+        let mut enabled: Vec<Vec<ActionId>> = Vec::new();
+        let mut procs: Vec<usize> = Vec::with_capacity(n);
+        let mut option_counts: Vec<usize> = Vec::with_capacity(n);
+        let mut selection: Vec<(usize, ActionId)> = Vec::with_capacity(n);
+
         while let Some((cfg, has, ack, active)) = queue.pop_front() {
-            let states = self.decode(cfg);
-            let enabled = self.enabled(&states);
-            let procs: Vec<usize> = (0..n).filter(|&i| !enabled[i].is_empty()).collect();
+            self.decode_into(cfg, &mut states);
+            self.enabled_into(&states, &mut enabled);
+            procs.clear();
+            procs.extend((0..n).filter(|&i| !enabled[i].is_empty()));
             if procs.is_empty() {
                 continue; // terminal (reported by check_no_deadlock)
             }
             // Every daemon choice: each enabled processor independently
             // skips or executes one of its enabled actions; all-skip is
             // excluded (combo 0).
-            let option_counts: Vec<usize> = procs.iter().map(|&i| enabled[i].len() + 1).collect();
+            option_counts.clear();
+            option_counts.extend(procs.iter().map(|&i| enabled[i].len() + 1));
             let combos: usize = option_counts.iter().product();
             for combo in 1..combos {
                 let mut c = combo;
-                let mut selection: Vec<(usize, ActionId)> = Vec::new();
+                selection.clear();
                 for (k, &i) in procs.iter().enumerate() {
                     let choice = c % option_counts[k];
                     c /= option_counts[k];
@@ -417,7 +448,8 @@ impl StateSpace {
                 transitions += 1;
 
                 // Apply simultaneously against the old configuration.
-                let mut next = states.clone();
+                next.clear();
+                next.extend_from_slice(&states);
                 for &(i, a) in &selection {
                     next[i] = self.protocol.execute(
                         View::new(&self.graph, &states, ProcId::from_index(i)),

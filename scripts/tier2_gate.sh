@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-2 CI gate: release build, full test suite, and clippy with
+# warnings promoted to errors. Run from the repository root; exits
+# non-zero on the first failing stage.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,139 @@
+//! Steady-state allocation audit for the simulator hot loop.
+//!
+//! The perf contract of `Simulator::step_observed` is that, on the
+//! `NoOpObserver` path, a step performs **zero heap allocation** once the
+//! scratch buffers have warmed up: selection, old-state, dirty-marking and
+//! round-accounting storage are all reused across steps. This test pins
+//! that contract with a counting `#[global_allocator]` — it wraps
+//! `std::alloc::System`, counts every `alloc`/`realloc`/`alloc_zeroed`,
+//! and asserts the counter does not move across a long post-warmup run.
+//!
+//! Counting is gated on a thread-local flag so only allocations made by
+//! the thread driving the simulator are charged — the libtest harness's
+//! main thread waits alongside the test thread and occasionally
+//! allocates on its own schedule, which is not the simulator's doing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pif_daemon::daemons::CentralRandom;
+use pif_daemon::{ActionId, Protocol, Simulator, View};
+use pif_graph::{generators, ProcId};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    // `const`-initialized so reading it never allocates (no lazy init),
+    // which keeps the global allocator re-entrancy-safe.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_tracking() {
+    // `try_with` tolerates allocator calls during thread teardown, after
+    // the TLS slot is gone.
+    if TRACKING.try_with(Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_tracking();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_tracking();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_if_tracking();
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Dijkstra's K-state token ring: the token circulates forever, so the
+/// measured loop never reaches a terminal configuration (which would
+/// legitimately allocate while re-seeding the bookkeeping). States are
+/// `Copy`, so applying them moves no heap memory.
+struct TokenRing {
+    k: u32,
+    n: usize,
+}
+
+impl TokenRing {
+    fn predecessor(&self, p: ProcId) -> ProcId {
+        ProcId::from_index((p.index() + self.n - 1) % self.n)
+    }
+}
+
+impl Protocol for TokenRing {
+    type State = u32;
+
+    fn action_names(&self) -> &'static [&'static str] {
+        &["advance"]
+    }
+
+    fn enabled_actions(&self, v: View<'_, u32>, out: &mut Vec<ActionId>) {
+        let prev = *v.state(self.predecessor(v.pid()));
+        let holds_token =
+            if v.pid().index() == 0 { *v.me() == prev } else { *v.me() != prev };
+        if holds_token {
+            out.push(ActionId(0));
+        }
+    }
+
+    fn execute(&self, v: View<'_, u32>, _a: ActionId) -> u32 {
+        let prev = *v.state(self.predecessor(v.pid()));
+        if v.pid().index() == 0 {
+            (*v.me() + 1) % self.k
+        } else {
+            prev
+        }
+    }
+}
+
+#[test]
+fn steady_state_steps_do_not_allocate() {
+    let n = 64;
+    let g = generators::ring(n).unwrap();
+    let protocol = TokenRing { k: n as u32 + 1, n };
+    // A deliberately perturbed start: stabilization churns the enabled set
+    // during warmup, growing every scratch buffer to its high-water mark.
+    let init: Vec<u32> = (0..n as u32).map(|i| (i * 7) % (n as u32 + 1)).collect();
+    let mut sim = Simulator::new(g, protocol, init);
+    sim.set_validation(true); // the validation path must also be alloc-free
+    let mut daemon = CentralRandom::new(0xA110C);
+
+    for _ in 0..2_000 {
+        let rep = sim.step(&mut daemon).unwrap();
+        assert!(!rep.terminal, "token ring must never terminate");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    TRACKING.with(|t| t.set(true));
+    for _ in 0..10_000 {
+        sim.step(&mut daemon).unwrap();
+    }
+    TRACKING.with(|t| t.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "simulator hot loop allocated {} time(s) across 10k steady-state steps",
+        after - before
+    );
+    assert!(sim.rounds() > 0, "round accounting must still advance");
+}

@@ -27,7 +27,10 @@ fn all_protocols_work_from_clean_starts() {
 fn only_snap_protocols_survive_fuzzing() {
     // On a tree, both snap protocols are perfect; echo and ss-pif are not.
     let tree = generators::kary_tree(13, 2).unwrap();
-    let seeds = 40u64;
+    // ss-PIF's per-seed failure probability depends on the RNG stream used
+    // to corrupt the start; 200 seeds keeps the "fails sometimes" assertion
+    // robust across generator changes.
+    let seeds = 200u64;
     let rate = |c: &dyn FirstWave| {
         (0..seeds).filter(|&s| c.first_wave(&tree, ProcId(0), Some(s), LIMITS).holds()).count()
     };

@@ -127,6 +127,70 @@ proptest! {
         prop_assert!(summary.is(analysis::ConfigClass::StartBroadcastNormal));
     }
 
+    /// The simulator's incremental enabled-set bookkeeping (dirty-set
+    /// recompute over executed processors and their neighborhoods, plus
+    /// the sparse change feed driving round accounting) is observationally
+    /// equivalent to recomputing everything from scratch: after every
+    /// step, a fresh `Simulator` built from the current configuration
+    /// must agree on the enabled processors and their enabled actions,
+    /// and a naive full-scan round counter must agree on completed
+    /// rounds.
+    #[test]
+    fn incremental_enabled_bookkeeping_matches_full_recompute(
+        n in 2usize..12,
+        p in 0.0f64..0.4,
+        gseed in any::<u64>(),
+        cseed in any::<u64>(),
+        dseed in any::<u64>(),
+        prob in 0.1f64..1.0,
+        steps in 1usize..80,
+    ) {
+        let g = generators::random_connected(n, p, gseed).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::random_config(&g, &protocol, cseed);
+        let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
+        let mut daemon = DistributedRandom::new(prob, dseed);
+
+        // Naive reference for Dolev-Israeli-Moran rounds: full enabled
+        // scan per step, no sparse changes.
+        let mut ref_pending: std::collections::HashSet<ProcId> =
+            sim.enabled_procs().iter().copied().collect();
+        let mut ref_rounds = 0u64;
+
+        for _ in 0..steps {
+            if sim.is_terminal() {
+                break;
+            }
+            sim.step(&mut daemon).unwrap();
+
+            // Enabled-set equivalence against a from-scratch simulator.
+            let fresh = Simulator::new(g.clone(), protocol.clone(), sim.states().to_vec());
+            prop_assert_eq!(sim.enabled_procs(), fresh.enabled_procs());
+            for q in g.procs() {
+                prop_assert_eq!(
+                    sim.enabled_actions(q),
+                    fresh.enabled_actions(q),
+                    "enabled actions diverge at {}",
+                    q
+                );
+            }
+
+            // Round equivalence: a processor leaves the pending set by
+            // executing or by becoming disabled (the disable action).
+            let now_enabled: std::collections::HashSet<ProcId> =
+                sim.enabled_procs().iter().copied().collect();
+            for &(q, _) in sim.last_executed() {
+                ref_pending.remove(&q);
+            }
+            ref_pending.retain(|q| now_enabled.contains(q));
+            if ref_pending.is_empty() {
+                ref_rounds += 1;
+                ref_pending = now_enabled;
+            }
+            prop_assert_eq!(sim.rounds(), ref_rounds);
+        }
+    }
+
     /// The feedback value aggregated over the dynamic tree is independent
     /// of daemon, seed and tree shape.
     #[test]

@@ -1,0 +1,179 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], `criterion_group!`/
+//! `criterion_main!` — backed by a simple wall-clock harness: each
+//! benchmark warms up briefly, then runs timed batches until a sampling
+//! budget elapses and reports the mean time per iteration on stdout.
+//!
+//! Environment knobs: `BENCH_SAMPLE_MS` (per-benchmark measure budget in
+//! milliseconds, default 300), `BENCH_WARMUP_MS` (default 100).
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_millis(default), Duration::from_millis)
+}
+
+/// Re-export of [`std::hint::black_box`] for parity with criterion.
+pub use std::hint::black_box;
+
+/// A benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter display.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{function}/{parameter}") }
+    }
+
+    /// An id carrying just a parameter display.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    sample: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per call.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup: establish caches and an iteration-time estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        // Batched measurement until the sampling budget elapses.
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.sample {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        warmup: env_ms("BENCH_WARMUP_MS", 100),
+        sample: env_ms("BENCH_SAMPLE_MS", 300),
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    let (scaled, unit) = if b.mean_ns >= 1e9 {
+        (b.mean_ns / 1e9, "s")
+    } else if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "µs")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{name:<50} {scaled:>10.3} {unit}/iter  ({} iters)", b.iters);
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

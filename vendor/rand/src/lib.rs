@@ -1,0 +1,216 @@
+//! Hermetic stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the *subset* of the rand 0.10 API it actually uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], the [`RngExt`] sampling
+//! helpers (`random_range`, `random_bool`), and [`seq::SliceRandom`].
+//!
+//! The generator is SplitMix64 — deterministic per seed, statistically
+//! solid for simulation workloads, and *not* cryptographic. Seeded
+//! experiment results are reproducible across runs and platforms but do
+//! not match upstream rand's stream for the same seed.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types uniformly sampleable from a range (mirrors rand's trait of the
+/// same name; the blanket [`SampleRange`] impls key type inference off
+/// it, so `rng.random_range(0..v.len())` infers `usize` from use).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A value in `[start, end)`.
+    fn sample_half_open(start: Self, end: Self, rng: &mut dyn RngCore) -> Self;
+    /// A value in `[start, end]`.
+    fn sample_inclusive(start: Self, end: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(start < end, "cannot sample empty range");
+                let width = (end as u128).wrapping_sub(start as u128);
+                (start as u128).wrapping_add(u128::from(rng.next_u64()) % width) as $t
+            }
+            fn sample_inclusive(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as u128).wrapping_sub(start as u128) + 1;
+                (start as u128).wrapping_add(u128::from(rng.next_u64()) % width) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(start < end, "cannot sample empty range");
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + frac * (end - start)
+    }
+    fn sample_inclusive(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+        Self::sample_half_open(start, end, rng)
+    }
+}
+
+/// Uniform sampling over a range, usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every RNG.
+pub trait RngExt: RngCore {
+    /// A value drawn uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// The RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed ^ 0x5DEE_CE66_D1CE_4E5B };
+            // Discard the first word so consecutive small seeds decorrelate.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngExt;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher-Yates).
+        fn shuffle<R: super::RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: super::RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: super::RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: super::RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000u32), b.random_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(1..=5u16);
+            assert!((1..=5).contains(&w));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_honored() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,16 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never links a serializer (reports are written as hand-formatted text
+//! and JSON). This shim keeps the annotations compiling without network
+//! access: the traits exist in the type namespace and the derives (from
+//! the sibling `serde_derive` shim) expand to nothing.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the in-tree serde shim.
+//!
+//! The workspace only *derives* the serde traits (no serializer is ever
+//! linked), so the derives expand to nothing: the types stay annotated
+//! exactly as they would be against real serde, and swapping the real
+//! crate back in is a Cargo.toml-only change.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
