@@ -245,7 +245,11 @@ mod tests {
         // (par = p2 is F, fine it can)... run to fixpoint and observe the
         // root never initiated.
         let stats = sim
-            .run_to_fixpoint(&mut d, RunLimits::new(10_000, 10_000))
+            .run(
+                &mut d,
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Limits(RunLimits::new(10_000, 10_000)),
+            )
             .unwrap();
         assert!(stats.terminal || stats.steps == 10_000);
         assert_eq!(sim.state(ProcId(0)).val, 0, "root never broadcast the sentinel");

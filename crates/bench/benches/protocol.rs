@@ -72,10 +72,15 @@ fn bench_correction(c: &mut Criterion) {
             let mut d = Synchronous::first_action();
             let proto2 = proto.clone();
             let g2 = g.clone();
+            let mut recovered = move |s: &Simulator<PifProtocol>| {
+                analysis::abnormal_procs(&proto2, &g2, s.states()).is_empty()
+            };
             let stats = sim
-                .run_until(&mut d, RunLimits::default(), move |s| {
-                    analysis::abnormal_procs(&proto2, &g2, s.states()).is_empty()
-                })
+                .run(
+                    &mut d,
+                    &mut pif_daemon::NoOpObserver,
+                    pif_daemon::StopPolicy::Predicate(RunLimits::default(), &mut recovered),
+                )
                 .unwrap();
             black_box(stats.rounds)
         })

@@ -174,9 +174,12 @@ pub fn ablate_level_guard() -> AblationRow {
         let mut d = pif_daemon::daemons::CentralSequential::new();
         // Either the corruption drains and the root broadcasts, or the
         // system seizes up.
-        let result = sim.run_until(&mut d, RunLimits::new(50_000, 10_000), |s| {
-            s.state(ProcId(0)).phase == Phase::B
-        });
+        let mut root_b = |s: &Simulator<PifProtocol>| s.state(ProcId(0)).phase == Phase::B;
+        let result = sim.run(
+            &mut d,
+            &mut pif_daemon::NoOpObserver,
+            pif_daemon::StopPolicy::Predicate(RunLimits::new(50_000, 10_000), &mut root_b),
+        );
         matches!(result, Ok(stats) if !stats.terminal || s_root_b(&sim))
     };
     fn s_root_b(sim: &Simulator<PifProtocol>) -> bool {

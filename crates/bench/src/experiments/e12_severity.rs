@@ -97,11 +97,15 @@ pub fn measure(topology: &Topology, k: usize, trials: u64) -> SeverityRow {
         let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
         let proto = protocol.clone();
         let graph = g.clone();
+        let mut recovered =
+            move |s: &Simulator<pif_core::PifProtocol>| {
+                analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
+            };
         let stats = sim
-            .run_until(
+            .run(
                 DaemonKind::Synchronous.build(g.len(), seed).as_mut(),
-                RunLimits::new(500_000, 100_000),
-                move |s| analysis::abnormal_procs(&proto, &graph, s.states()).is_empty(),
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Predicate(RunLimits::new(500_000, 100_000), &mut recovered),
             )
             .expect("recovery run failed");
         recovery.push(stats.rounds);

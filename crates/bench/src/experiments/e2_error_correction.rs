@@ -41,10 +41,15 @@ pub fn recovery_rounds(
     let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
     let proto = protocol.clone();
     let graph = g.clone();
+    let mut recovered = move |s: &Simulator<PifProtocol>| {
+        analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
+    };
     let stats = sim
-        .run_until(daemon, RunLimits::new(2_000_000, 200_000), move |s| {
-            analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
-        })
+        .run(
+            daemon,
+            &mut pif_daemon::NoOpObserver,
+            pif_daemon::StopPolicy::Predicate(RunLimits::new(2_000_000, 200_000), &mut recovered),
+        )
         .expect("recovery run exceeded its budget");
     stats.rounds
 }

@@ -33,11 +33,16 @@ pub fn glt_rounds(
     // First: all processors normal AND the configuration good. Normality
     // ensures we are past the transient; a GC without normality can still
     // be destroyed by a later correction.
+    let mut glt_formed = move |s: &Simulator<PifProtocol>| {
+        analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
+            && analysis::good_configuration(&proto, &graph, s.states())
+    };
     let stats = sim
-        .run_until(daemon, RunLimits::new(2_000_000, 200_000), move |s| {
-            analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
-                && analysis::good_configuration(&proto, &graph, s.states())
-        })
+        .run(
+            daemon,
+            &mut pif_daemon::NoOpObserver,
+            pif_daemon::StopPolicy::Predicate(RunLimits::new(2_000_000, 200_000), &mut glt_formed),
+        )
         .expect("GLT run exceeded its budget");
     // Sampled stability check.
     let mut stable = true;

@@ -15,7 +15,9 @@
 
 use pif_core::analysis::classify;
 use pif_core::{initial, Phase, PifProtocol, PifState};
-use pif_daemon::{RunLimits, Simulator};
+use pif_daemon::{
+    MetricsObserver, PhaseReport, PhaseTag, RunLimits, Simulator, StopPolicy,
+};
 use pif_graph::{ProcId, Topology};
 
 use crate::report::{Stats, Table};
@@ -85,14 +87,25 @@ impl Case {
     }
 }
 
-/// Measures one case from one corrupted start.
-pub fn case_rounds(
+/// The Theorem 1 error-correction bound `3·L_max + 3`: rounds in which a
+/// correction action (`B_CORRECTION`/`F_CORRECTION`) can still fire.
+pub fn correction_bound(l_max: u16) -> u64 {
+    3 * u64::from(l_max) + 3
+}
+
+/// Measures one case from one corrupted start, with per-phase attribution.
+///
+/// Returns the total completed rounds to the landmark configuration plus
+/// the [`PhaseReport`] of the run (per-phase moves/steps/rounds), so the
+/// report tables and theorem-bound tests can check not just the aggregate
+/// bound but which phases consumed the rounds.
+pub fn case_run(
     case: Case,
     g: &pif_graph::Graph,
     protocol: &PifProtocol,
     seed: u64,
     daemon: &mut dyn pif_daemon::Daemon<PifState>,
-) -> u64 {
+) -> (u64, PhaseReport) {
     let mut init = if g.len() > 1 {
         initial::adversarial_config(g, protocol, ProcId(1 + (seed as u32 % (g.len() as u32 - 1))), seed)
     } else {
@@ -100,14 +113,29 @@ pub fn case_rounds(
     };
     case.force_root(protocol, &mut init);
     let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
+    let mut metrics = MetricsObserver::for_protocol(protocol, g.len());
     let proto = protocol.clone();
     let graph = g.clone();
+    let mut target = move |s: &Simulator<PifProtocol>| case.reached(&proto, &graph, s.states());
     let stats = sim
-        .run_until(daemon, RunLimits::new(2_000_000, 200_000), move |s| {
-            case.reached(&proto, &graph, s.states())
-        })
+        .run(
+            daemon,
+            &mut metrics,
+            StopPolicy::Predicate(RunLimits::new(2_000_000, 200_000), &mut target),
+        )
         .expect("phase-bound run exceeded its budget");
-    stats.rounds
+    (stats.rounds, metrics.report())
+}
+
+/// Measures one case from one corrupted start (rounds only).
+pub fn case_rounds(
+    case: Case,
+    g: &pif_graph::Graph,
+    protocol: &PifProtocol,
+    seed: u64,
+    daemon: &mut dyn pif_daemon::Daemon<PifState>,
+) -> u64 {
+    case_run(case, g, protocol, seed, daemon).0
 }
 
 /// One (topology × case) row.
@@ -119,10 +147,23 @@ pub struct PhaseRow {
     pub case: Case,
     /// The paper's bound.
     pub bound: u64,
+    /// The Theorem 1 bound `3·L_max + 3` on correction-phase rounds.
+    pub corr_bound: u64,
     /// Measured statistics.
     pub stats: Stats,
-    /// Whether every sample respected the bound.
+    /// Maximum rounds attributed to each [`PhaseTag`] across all samples,
+    /// indexed by [`PhaseTag::index`].
+    pub phase_rounds_max: [u64; PhaseTag::COUNT],
+    /// Whether every sample respected both the case bound and the
+    /// correction bound.
     pub ok: bool,
+}
+
+impl PhaseRow {
+    /// Maximum rounds attributed to `tag` across the row's samples.
+    pub fn phase_rounds_of(&self, tag: PhaseTag) -> u64 {
+        self.phase_rounds_max[tag.index()]
+    }
 }
 
 /// Runs E4 over the full recovery suite.
@@ -139,7 +180,21 @@ pub fn run_on(topologies: Vec<Topology>, seeds: u64) -> Table {
     let rows = par_map(jobs, |(t, c)| measure(&t, c, seeds));
     let mut table = Table::new(
         "E4 / Theorem 2 — classified starts reach their landmarks in bounded rounds",
-        &["topology", "case", "bound", "samples", "rounds_mean", "rounds_max", "within_bound"],
+        &[
+            "topology",
+            "case",
+            "bound",
+            "samples",
+            "rounds_mean",
+            "rounds_max",
+            "bcast_r",
+            "fok_r",
+            "fback_r",
+            "clean_r",
+            "corr_r",
+            "corr_bound",
+            "within_bound",
+        ],
     );
     for r in &rows {
         table.row_owned(vec![
@@ -149,6 +204,12 @@ pub fn run_on(topologies: Vec<Topology>, seeds: u64) -> Table {
             r.stats.n.to_string(),
             format!("{:.1}", r.stats.mean),
             r.stats.max.to_string(),
+            r.phase_rounds_of(PhaseTag::Broadcast).to_string(),
+            r.phase_rounds_of(PhaseTag::Fok).to_string(),
+            r.phase_rounds_of(PhaseTag::Feedback).to_string(),
+            r.phase_rounds_of(PhaseTag::Cleaning).to_string(),
+            r.phase_rounds_of(PhaseTag::Correction).to_string(),
+            r.corr_bound.to_string(),
             if r.ok { "yes" } else { "VIOLATED" }.to_string(),
         ]);
     }
@@ -160,15 +221,31 @@ pub fn measure(topology: &Topology, case: Case, seeds: u64) -> PhaseRow {
     let g = topology.build().expect("suite topologies are valid");
     let protocol = PifProtocol::new(ProcId(0), &g);
     let bound = case.bound(protocol.l_max());
+    let corr_bound = correction_bound(protocol.l_max());
     let mut samples = Vec::new();
+    let mut phase_rounds_max = [0u64; PhaseTag::COUNT];
     for seed in 0..seeds {
         for kind in [DaemonKind::Synchronous, DaemonKind::CentralRandom] {
             let mut d = kind.build(g.len(), seed);
-            samples.push(case_rounds(case, &g, &protocol, seed, d.as_mut()));
+            let (rounds, phases) = case_run(case, &g, &protocol, seed, d.as_mut());
+            samples.push(rounds);
+            for tag in PhaseTag::ALL {
+                let r = &mut phase_rounds_max[tag.index()];
+                *r = (*r).max(phases.rounds_of(tag));
+            }
         }
     }
     let stats = Stats::of(&samples);
-    PhaseRow { topology: topology.clone(), case, bound, ok: stats.max <= bound, stats }
+    let ok = stats.max <= bound && phase_rounds_max[PhaseTag::Correction.index()] <= corr_bound;
+    PhaseRow {
+        topology: topology.clone(),
+        case,
+        bound,
+        corr_bound,
+        stats,
+        phase_rounds_max,
+        ok,
+    }
 }
 
 #[cfg(test)]
@@ -182,11 +259,19 @@ mod tests {
                 let row = measure(&t, case, 6);
                 assert!(
                     row.ok,
-                    "{t:?} {}: max {} > bound {}",
+                    "{t:?} {}: max {} > bound {} (or correction rounds {} > {})",
                     case.name(),
                     row.stats.max,
-                    row.bound
+                    row.bound,
+                    row.phase_rounds_of(PhaseTag::Correction),
+                    row.corr_bound,
                 );
+                // The run did attributable work: at least one phase saw a
+                // completed round, and no single phase exceeds the bound.
+                assert!(PhaseTag::ALL.iter().any(|t| row.phase_rounds_of(*t) > 0));
+                for tag in PhaseTag::ALL {
+                    assert!(row.phase_rounds_of(tag) <= row.bound);
+                }
             }
         }
     }

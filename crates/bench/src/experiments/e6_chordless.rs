@@ -113,11 +113,10 @@ pub fn measure(topology: &Topology, seeds: u64) -> ChordlessRow {
         let mut target = |s: &Simulator<PifProtocol>| {
             s.steps() > 0 && initial::is_normal_starting(s.states())
         };
-        sim.run_until_observed(
+        sim.run(
             d.as_mut(),
             &mut monitor,
-            RunLimits::new(2_000_000, 500_000),
-            &mut target,
+            pif_daemon::StopPolicy::Predicate(RunLimits::new(2_000_000, 500_000), &mut target),
         )
         .expect("cycle failed");
         if !monitor.violations().is_empty() {

@@ -86,11 +86,10 @@ pub fn measure(topology: &Topology, seeds: u64) -> InvariantRow {
         let mut target = |s: &Simulator<PifProtocol>| {
             s.steps() > 0 && initial::is_normal_starting(s.states())
         };
-        sim.run_until_observed(
+        sim.run(
             d.as_mut(),
             &mut monitor,
-            RunLimits::new(2_000_000, 500_000),
-            &mut target,
+            pif_daemon::StopPolicy::Predicate(RunLimits::new(2_000_000, 500_000), &mut target),
         )
         .expect("clean cycle failed");
         absorb(&monitor);
@@ -115,11 +114,10 @@ pub fn measure(topology: &Topology, seeds: u64) -> InvariantRow {
                 seen_clean
                     && pif_core::analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
             };
-            sim.run_until_observed(
+            sim.run(
                 d.as_mut(),
                 &mut monitor,
-                RunLimits::new(2_000_000, 500_000),
-                &mut target,
+                pif_daemon::StopPolicy::Predicate(RunLimits::new(2_000_000, 500_000), &mut target),
             )
             .expect("recovery run failed");
             absorb(&monitor);

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod contestants;
+pub mod error;
 pub mod experiments;
 pub mod report;
 pub mod runner;

@@ -2,7 +2,7 @@
 //!
 //! Shared between the `step_throughput` Criterion group and the
 //! `exp_step_throughput` binary that emits `BENCH_step_throughput.json`:
-//! both drive the real [`PifProtocol`](pif_core::PifProtocol) under a
+//! both drive the real [`PifProtocol`] under a
 //! central daemon and count raw computation steps per second.
 //!
 //! The workload deliberately uses a *central* daemon (one processor per

@@ -98,6 +98,12 @@ impl DaemonKind {
         }
     }
 
+    /// Parses a daemon from its [`name`](DaemonKind::name) (as used on the
+    /// `pif-trace` command line). Returns `None` for an unknown name.
+    pub fn parse(name: &str) -> Option<DaemonKind> {
+        DaemonKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Instantiates a fresh daemon of this kind for a network of `n`
     /// processors, seeded deterministically.
     pub fn build(self, n: usize, seed: u64) -> Box<dyn Daemon<PifState>> {
@@ -136,6 +142,8 @@ mod tests {
         for k in DaemonKind::ALL {
             let _ = k.build(10, 1);
             assert!(!k.name().is_empty());
+            assert_eq!(DaemonKind::parse(k.name()), Some(k));
         }
+        assert_eq!(DaemonKind::parse("no-such-daemon"), None);
     }
 }

@@ -132,8 +132,7 @@ pub struct Violation {
 /// An [`Observer`] asserting Property 1 (every configuration) and
 /// Property 2 (normal configurations) after every computation step.
 ///
-/// Attach it to a run with
-/// [`Simulator::run_until_observed`](pif_daemon::Simulator::run_until_observed);
+/// Attach it to a run with [`Simulator::run`](pif_daemon::Simulator::run);
 /// inspect [`InvariantMonitor::violations`] afterwards (expected empty).
 #[derive(Clone, Debug)]
 pub struct InvariantMonitor {
@@ -204,11 +203,10 @@ mod tests {
             let mut target = |s: &Simulator<PifProtocol>| {
                 s.steps() > 0 && initial::is_normal_starting(s.states())
             };
-            sim.run_until_observed(
+            sim.run(
                 &mut Synchronous::first_action(),
                 &mut monitor,
-                RunLimits::default(),
-                &mut target,
+                pif_daemon::StopPolicy::Predicate(RunLimits::default(), &mut target),
             )
             .unwrap();
             assert!(
@@ -261,9 +259,13 @@ mod tests {
         let mut sim = Simulator::new(g.clone(), proto.clone(), init);
         let mut d = Synchronous::first_action();
         // Run into the middle of the broadcast phase.
-        sim.run_until(&mut d, RunLimits::default(), |s| {
-            s.states().iter().all(|st| st.phase == Phase::B)
-        })
+        let mut all_b =
+            |s: &Simulator<PifProtocol>| s.states().iter().all(|st| st.phase == Phase::B);
+        sim.run(
+            &mut d,
+            &mut pif_daemon::NoOpObserver,
+            pif_daemon::StopPolicy::Predicate(RunLimits::default(), &mut all_b),
+        )
         .unwrap();
         assert!(chordless_parent_paths(&proto, &g, sim.states()));
     }

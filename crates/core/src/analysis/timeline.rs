@@ -22,7 +22,7 @@ use crate::state::PifState;
 /// use pif_core::{initial, PifProtocol};
 /// use pif_daemon::daemons::Synchronous;
 /// use pif_daemon::trace::Trace;
-/// use pif_daemon::{RunLimits, Simulator};
+/// use pif_daemon::{RunLimits, Simulator, StopPolicy};
 /// use pif_graph::{generators, ProcId};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,8 +34,9 @@ use crate::state::PifState;
 /// let mut stop = |s: &Simulator<PifProtocol>| {
 ///     s.steps() > 0 && initial::is_normal_starting(s.states())
 /// };
-/// sim.run_until_observed(
-///     &mut Synchronous::first_action(), &mut trace, RunLimits::default(), &mut stop)?;
+/// sim.run(
+///     &mut Synchronous::first_action(), &mut trace,
+///     StopPolicy::Predicate(RunLimits::default(), &mut stop))?;
 /// let chart = render(&proto, &trace);
 /// assert!(chart.contains("p0"));
 /// # Ok(())
@@ -92,11 +93,10 @@ mod tests {
         let mut stop = |s: &Simulator<PifProtocol>| {
             s.steps() > 0 && initial::is_normal_starting(s.states())
         };
-        sim.run_until_observed(
+        sim.run(
             &mut Synchronous::first_action(),
             &mut trace,
-            RunLimits::default(),
-            &mut stop,
+            pif_daemon::StopPolicy::Predicate(RunLimits::default(), &mut stop),
         )
         .unwrap();
         (proto, trace)

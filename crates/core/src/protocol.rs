@@ -34,7 +34,7 @@
 //!    the clamping is invisible in the model and merely keeps corrupted
 //!    executions finite.
 
-use pif_daemon::{ActionId, Protocol, View};
+use pif_daemon::{ActionId, PhaseTag, Protocol, View};
 use pif_graph::{Graph, ProcId};
 
 use crate::state::{Phase, PifState};
@@ -118,7 +118,7 @@ impl Features {
 ///
 /// ```
 /// use pif_core::{initial, PifProtocol};
-/// use pif_daemon::{daemons::Synchronous, RunLimits, Simulator};
+/// use pif_daemon::{daemons::Synchronous, NoOpObserver, RunLimits, Simulator, StopPolicy};
 /// use pif_graph::{generators, ProcId};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -128,9 +128,14 @@ impl Features {
 /// let mut sim = Simulator::new(g, proto, init);
 /// // The system returns to the normal starting configuration after the
 /// // cycle (root's C-action); stop once the first full cycle completed.
-/// let stats = sim.run_until(&mut Synchronous::first_action(), RunLimits::default(), |s| {
+/// let mut cycled = |s: &Simulator<PifProtocol>| {
 ///     s.steps() > 0 && initial::is_normal_starting(s.states())
-/// })?;
+/// };
+/// let stats = sim.run(
+///     &mut Synchronous::first_action(),
+///     &mut NoOpObserver,
+///     StopPolicy::Predicate(RunLimits::default(), &mut cycled),
+/// )?;
 /// assert!(stats.steps > 0);
 /// # Ok(())
 /// # }
@@ -568,6 +573,19 @@ impl Protocol for PifProtocol {
         }
         s
     }
+
+    fn classify(&self, action: ActionId) -> PhaseTag {
+        match action {
+            // The counter refresh is part of servicing the broadcast wave's
+            // questioning mechanism, so it is charged to the broadcast phase.
+            B_ACTION | COUNT_ACTION => PhaseTag::Broadcast,
+            FOK_ACTION => PhaseTag::Fok,
+            F_ACTION => PhaseTag::Feedback,
+            C_ACTION => PhaseTag::Cleaning,
+            B_CORRECTION | F_CORRECTION => PhaseTag::Correction,
+            _ => PhaseTag::Other,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -652,10 +670,15 @@ mod tests {
         let g = generators::chain(4).unwrap();
         let mut sim = sim_on(g);
         let mut d = pif_daemon::daemons::Synchronous::first_action();
+        let mut cycled = |s: &Simulator<PifProtocol>| {
+            s.steps() > 0 && initial::is_normal_starting(s.states())
+        };
         let stats = sim
-            .run_until(&mut d, pif_daemon::RunLimits::default(), |s| {
-                s.steps() > 0 && initial::is_normal_starting(s.states())
-            })
+            .run(
+                &mut d,
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Predicate(pif_daemon::RunLimits::default(), &mut cycled),
+            )
             .unwrap();
         assert!(stats.steps > 0, "cycle must progress");
         assert!(initial::is_normal_starting(sim.states()));
@@ -667,9 +690,14 @@ mod tests {
             let g = t.build().unwrap();
             let mut sim = sim_on(g);
             let mut d = pif_daemon::daemons::Synchronous::first_action();
-            let res = sim.run_until(&mut d, pif_daemon::RunLimits::default(), |s| {
+            let mut cycled = |s: &Simulator<PifProtocol>| {
                 s.steps() > 0 && initial::is_normal_starting(s.states())
-            });
+            };
+            let res = sim.run(
+                &mut d,
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Predicate(pif_daemon::RunLimits::default(), &mut cycled),
+            );
             assert!(res.is_ok(), "cycle did not complete on {t:?}: {res:?}");
         }
     }
@@ -679,8 +707,13 @@ mod tests {
         let g = generators::kary_tree(7, 2).unwrap();
         let mut sim = sim_on(g);
         let mut d = pif_daemon::daemons::Synchronous::first_action();
+        let mut root_fok = |s: &Simulator<PifProtocol>| s.state(ProcId(0)).fok;
         let stats = sim
-            .run_until(&mut d, pif_daemon::RunLimits::default(), |s| s.state(ProcId(0)).fok)
+            .run(
+                &mut d,
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Predicate(pif_daemon::RunLimits::default(), &mut root_fok),
+            )
             .unwrap();
         assert!(stats.steps > 0);
         assert_eq!(sim.state(ProcId(0)).count, 7);
@@ -780,7 +813,11 @@ mod tests {
         let mut sim = Simulator::new(g, proto, init);
         let mut d = pif_daemon::daemons::Synchronous::first_action();
         let stats = sim
-            .run_to_fixpoint(&mut d, pif_daemon::RunLimits::new(10_000, 10_000))
+            .run(
+                &mut d,
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Fixpoint(pif_daemon::RunLimits::new(10_000, 10_000)),
+            )
             .unwrap();
         assert!(stats.terminal);
         assert_eq!(sim.state(ProcId(0)).phase, Phase::B);
@@ -824,9 +861,12 @@ mod tests {
         assert!(sim.enabled_actions(ProcId(1)).contains(&F_ACTION));
         // And it drains all the way to the normal starting configuration.
         let mut d = pif_daemon::daemons::CentralSequential::new();
-        sim.run_until(&mut d, pif_daemon::RunLimits::new(10_000, 10_000), |s| {
-            initial::is_normal_starting(s.states())
-        })
+        let mut drained = |s: &Simulator<PifProtocol>| initial::is_normal_starting(s.states());
+        sim.run(
+            &mut d,
+            &mut pif_daemon::NoOpObserver,
+            pif_daemon::StopPolicy::Predicate(pif_daemon::RunLimits::new(10_000, 10_000), &mut drained),
+        )
         .unwrap();
         assert!(initial::is_normal_starting(sim.states()));
     }

@@ -83,6 +83,46 @@ impl PifState {
     }
 }
 
+impl pif_daemon::TraceState for PifState {
+    /// Compact trace token `⟨phase⟩:⟨par⟩:⟨level⟩:⟨count⟩:⟨fok⟩`, e.g.
+    /// `B:2:3:5:1` — chosen over the pretty [`fmt::Display`] form so trace
+    /// files stay ASCII and cheap to parse.
+    fn encode(&self, out: &mut String) {
+        use fmt::Write as _;
+        let _ = write!(
+            out,
+            "{}:{}:{}:{}:{}",
+            self.phase,
+            self.par.index(),
+            self.level,
+            self.count,
+            self.fok as u8
+        );
+    }
+
+    fn decode(token: &str) -> Option<Self> {
+        let mut parts = token.split(':');
+        let phase = match parts.next()? {
+            "B" => Phase::B,
+            "F" => Phase::F,
+            "C" => Phase::C,
+            _ => return None,
+        };
+        let par = ProcId::from_index(parts.next()?.parse::<usize>().ok()?);
+        let level = parts.next()?.parse().ok()?;
+        let count = parts.next()?.parse().ok()?;
+        let fok = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(PifState { phase, par, level, count, fok })
+    }
+}
+
 impl fmt::Display for PifState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -146,6 +186,21 @@ mod tests {
     fn state_display_is_compact() {
         let s = PifState { phase: Phase::B, par: ProcId(2), level: 3, count: 5, fok: true };
         assert_eq!(s.to_string(), "B⟨par=p2,L=3,cnt=5,fok=1⟩");
+    }
+
+    #[test]
+    fn trace_token_roundtrips_every_phase() {
+        use pif_daemon::TraceState;
+        for phase in Phase::ALL {
+            let s = PifState { phase, par: ProcId(7), level: 12, count: 99, fok: true };
+            let mut token = String::new();
+            s.encode(&mut token);
+            assert_eq!(PifState::decode(&token), Some(s));
+        }
+        assert_eq!(PifState::decode("B:1:2:3"), None);
+        assert_eq!(PifState::decode("X:1:2:3:0"), None);
+        assert_eq!(PifState::decode("B:1:2:3:0:extra"), None);
+        assert_eq!(PifState::decode("B:1:2:3:2"), None);
     }
 
     #[test]

@@ -383,7 +383,13 @@ mod tests {
     fn run_with(daemon: &mut dyn Daemon<u8>) -> u64 {
         let g = generators::ring(5).unwrap();
         let mut sim = Simulator::new(g, Countdown, vec![3; 5]);
-        let stats = sim.run_to_fixpoint(daemon, RunLimits::default()).unwrap();
+        let stats = sim
+            .run(
+                daemon,
+                &mut crate::NoOpObserver,
+                crate::StopPolicy::Fixpoint(RunLimits::default()),
+            )
+            .unwrap();
         assert!(sim.states().iter().all(|&s| s == 0), "{}", daemon.name());
         stats.steps
     }

@@ -20,7 +20,7 @@ use crate::{Observer, Protocol, StepDelta, View};
 /// ```
 /// use pif_daemon::fairness::FairnessAuditor;
 /// use pif_daemon::daemons::CentralSequential;
-/// use pif_daemon::{ActionId, Protocol, RunLimits, Simulator, View};
+/// use pif_daemon::{ActionId, Protocol, RunLimits, Simulator, StopPolicy, View};
 /// use pif_graph::generators;
 ///
 /// struct Dec;
@@ -37,9 +37,9 @@ use crate::{Observer, Protocol, StepDelta, View};
 /// let g = generators::ring(4)?;
 /// let mut sim = Simulator::new(g, Dec, vec![3; 4]);
 /// let mut audit = FairnessAuditor::new(Dec);
-/// let mut stop = |_: &Simulator<Dec>| false;
-/// sim.run_until_observed(
-///     &mut CentralSequential::new(), &mut audit, RunLimits::default(), &mut stop)?;
+/// sim.run(
+///     &mut CentralSequential::new(), &mut audit,
+///     StopPolicy::Fixpoint(RunLimits::default()))?;
 /// // Round-robin over 4 processors: nobody waits more than 4 steps.
 /// assert!(audit.max_streak() <= 4);
 /// # Ok(())
@@ -147,8 +147,7 @@ mod tests {
         let g = generators::ring(5).unwrap();
         let mut sim = Simulator::new(g, Dec, vec![4; 5]);
         let mut auditor = FairnessAuditor::new(Dec);
-        let mut stop = |_: &Simulator<Dec>| false;
-        sim.run_until_observed(daemon, &mut auditor, RunLimits::default(), &mut stop)
+        sim.run(daemon, &mut auditor, crate::StopPolicy::Fixpoint(RunLimits::default()))
             .unwrap();
         auditor
     }

@@ -1,0 +1,317 @@
+//! Minimal hand-rolled JSON support for the trace file format.
+//!
+//! The workspace is hermetic (no network, and the vendored `serde` is a
+//! no-op shim), so the trace subsystem carries its own tiny JSON layer: a
+//! string escaper for writing and a recursive-descent parser producing a
+//! [`Json`] value tree. Numbers keep their source lexeme so 64-bit
+//! integers (daemon seeds) survive without `f64` precision loss.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    /// The raw number lexeme (re-parsed on demand by [`Json::as_u64`]).
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key/value pairs in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (linear scan; objects here are tiny).
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON syntax error with its byte offset in the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct JsonError {
+    pub offset: usize,
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub(crate) fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed).
+pub(crate) fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { offset: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            // Surrogates are not paired up; traces never
+                            // emit them (the writer escapes only controls).
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number lexeme is ASCII");
+        Ok(Json::Num(lexeme.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"{"v":1,"name":"torus-4x4","edges":[[0,1],[1,2]],"ok":true,"x":null}"#;
+        let j = parse(doc).unwrap();
+        assert_eq!(j.get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("name").unwrap().as_str(), Some("torus-4x4"));
+        let edges = j.get("edges").unwrap().as_array().unwrap();
+        assert_eq!(edges[1].as_array().unwrap()[1].as_u64(), Some(2));
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("x"), Some(&Json::Null));
+        assert_eq!(j.get("missing"), None);
+    }
+
+    #[test]
+    fn u64_seeds_survive_roundtrip() {
+        let j = parse("18446744073709551615").unwrap();
+        assert_eq!(j.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "a\"b\\c\nd\te\u{1}é";
+        let mut encoded = String::new();
+        write_string(original, &mut encoded);
+        let j = parse(&encoded).unwrap();
+        assert_eq!(j.as_str(), Some(original));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_not_panicked() {
+        for bad in ["", "{", "[1,", "\"open", "{\"k\" 1}", "tru", "{} garbage", "nul"] {
+            let err = parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -35,7 +35,8 @@
 //! A one-register "maximum propagation" protocol, simulated to fixpoint:
 //!
 //! ```
-//! use pif_daemon::{ActionId, Daemon, Protocol, RunLimits, Simulator, View};
+//! use pif_daemon::{ActionId, Daemon, NoOpObserver, Protocol, RunLimits, Simulator,
+//!     StopPolicy, View};
 //! use pif_daemon::daemons::Synchronous;
 //! use pif_graph::generators;
 //!
@@ -61,7 +62,11 @@
 //! let g = generators::chain(5)?;
 //! let init = vec![3, 0, 9, 0, 1];
 //! let mut sim = Simulator::new(g, MaxProto, init);
-//! let stats = sim.run_to_fixpoint(&mut Synchronous::first_action(), RunLimits::default())?;
+//! let stats = sim.run(
+//!     &mut Synchronous::first_action(),
+//!     &mut NoOpObserver,
+//!     StopPolicy::Fixpoint(RunLimits::default()),
+//! )?;
 //! assert!(sim.states().iter().all(|&s| s == 9));
 //! assert!(stats.rounds <= 4);
 //! # Ok(())
@@ -75,14 +80,22 @@ mod bits;
 pub mod daemons;
 mod error;
 pub mod fairness;
+mod json;
+pub mod metrics;
 mod protocol;
 pub mod rounds;
 mod sim;
 pub mod trace;
+pub mod trace_io;
 
 pub use error::SimError;
-pub use protocol::{ActionId, EnabledSet, Protocol, View};
-pub use sim::{Observer, RunLimits, RunStats, Simulator, StepDelta, StepReport};
+pub use metrics::{LatencyHistogram, MetricsObserver, PhaseReport};
+pub use protocol::{ActionId, EnabledSet, PhaseTag, Protocol, View};
+pub use sim::{
+    Fanout, NoOpObserver, Observer, RunLimits, RunStats, SimBuilder, Simulator, StepDelta,
+    StepReport, StopPolicy,
+};
+pub use trace_io::{RecordedTrace, TraceError, TraceRecorder, TraceState};
 
 /// A daemon: the adversary/scheduler choosing, at every computation step, a
 /// non-empty subset of the enabled processors (and for each chosen processor,

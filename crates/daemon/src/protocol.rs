@@ -25,6 +25,75 @@ impl fmt::Display for ActionId {
     }
 }
 
+/// Phase of the paper's PIF wave that an action belongs to.
+///
+/// The PIF cycle is built from a broadcast wave (`B`), the normality
+/// feedback wave (`Fok`), the feedback wave proper (`F`), and the cleaning
+/// wave (`C`); the snap-stabilization proof additionally distinguishes the
+/// correction actions that erase abnormal trees. Protocols map their
+/// [`ActionId`]s onto these phases via [`Protocol::classify`] so that
+/// observers (e.g. `MetricsObserver`) can attribute cost to the phase a
+/// theorem actually bounds. Protocols outside the PIF family leave the
+/// default implementation, which classifies everything as
+/// [`PhaseTag::Other`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PhaseTag {
+    /// Broadcast-wave actions (the paper's `B-action`, plus auxiliary
+    /// broadcast bookkeeping such as the questioning counter).
+    Broadcast,
+    /// The normality-question wave (`Fok-action`).
+    Fok,
+    /// Feedback-wave actions (`F-action`).
+    Feedback,
+    /// Cleaning-wave actions (`C-action`).
+    Cleaning,
+    /// Correction actions erasing abnormal trees (`B-correction`,
+    /// `F-correction`).
+    Correction,
+    /// Anything the protocol does not attribute to a PIF phase.
+    Other,
+}
+
+impl PhaseTag {
+    /// All tags, in [`PhaseTag::index`] order.
+    pub const ALL: [PhaseTag; 6] = [
+        PhaseTag::Broadcast,
+        PhaseTag::Fok,
+        PhaseTag::Feedback,
+        PhaseTag::Cleaning,
+        PhaseTag::Correction,
+        PhaseTag::Other,
+    ];
+
+    /// Number of distinct tags (the size of per-phase counter arrays).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this tag, suitable for array-backed counters.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase name (`"broadcast"`, `"fok"`, …), stable across
+    /// releases — used in trace files and bench reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PhaseTag::Broadcast => "broadcast",
+            PhaseTag::Fok => "fok",
+            PhaseTag::Feedback => "feedback",
+            PhaseTag::Cleaning => "cleaning",
+            PhaseTag::Correction => "correction",
+            PhaseTag::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for PhaseTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A guarded-action protocol in the locally shared memory model.
 ///
 /// A protocol is evaluated per processor: given a read-only [`View`] of the
@@ -63,6 +132,16 @@ pub trait Protocol {
     /// Human-readable name of an action (falls back to the raw id).
     fn action_name(&self, action: ActionId) -> &'static str {
         self.action_names().get(action.index()).copied().unwrap_or("?")
+    }
+
+    /// Maps an action onto the PIF phase it implements, for phase-resolved
+    /// observability. The default classifies every action as
+    /// [`PhaseTag::Other`]; PIF-family protocols override this. Must be
+    /// pure and total — observers precompute a per-action lookup table from
+    /// it, so it is never called on the step path.
+    fn classify(&self, action: ActionId) -> PhaseTag {
+        let _ = action;
+        PhaseTag::Other
     }
 }
 
@@ -254,5 +333,15 @@ mod tests {
     fn action_id_display() {
         assert_eq!(ActionId(4).to_string(), "a4");
         assert_eq!(ActionId(4).index(), 4);
+    }
+
+    #[test]
+    fn phase_tag_indexing_is_dense_and_stable() {
+        for (i, tag) in PhaseTag::ALL.iter().enumerate() {
+            assert_eq!(tag.index(), i);
+        }
+        assert_eq!(PhaseTag::COUNT, 6);
+        assert_eq!(PhaseTag::Broadcast.to_string(), "broadcast");
+        assert_eq!(PhaseTag::Correction.name(), "correction");
     }
 }

@@ -73,6 +73,8 @@ pub struct StepDelta<'a, P: Protocol> {
     executed: &'a [(ProcId, ActionId)],
     old_states: &'a [P::State],
     before: Option<&'a [P::State]>,
+    step: u64,
+    round_completed: bool,
 }
 
 impl<'a, P: Protocol> StepDelta<'a, P> {
@@ -80,6 +82,21 @@ impl<'a, P: Protocol> StepDelta<'a, P> {
     #[inline]
     pub fn executed(&self) -> &'a [(ProcId, ActionId)] {
         self.executed
+    }
+
+    /// Zero-based index of the step this delta describes (equal to
+    /// [`Simulator::steps`] minus one at notification time).
+    #[inline]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Whether this step completed a round (Dolev-Israeli-Moran
+    /// definition). Round accounting is settled *before* observers run, so
+    /// metrics observers can attribute per-round phase activity.
+    #[inline]
+    pub fn round_completed(&self) -> bool {
+        self.round_completed
     }
 
     /// The executed moves with each processor's pre-step state:
@@ -126,6 +143,53 @@ impl<P: Protocol> Observer<P> for NoOpObserver {
     fn step(&mut self, _: &Graph, _: &StepDelta<'_, P>, _: &[P::State]) {}
 }
 
+/// Observer combinator notifying two observers in sequence.
+///
+/// Lets a single run feed, say, a `MetricsObserver` and a `TraceRecorder`
+/// at once; nest `Fanout`s for more. The full-before requirement is the
+/// union of both sides'.
+pub struct Fanout<'a, P: Protocol> {
+    first: &'a mut dyn Observer<P>,
+    second: &'a mut dyn Observer<P>,
+}
+
+impl<'a, P: Protocol> Fanout<'a, P> {
+    /// Combines two observers; `first` is notified before `second`.
+    pub fn new(first: &'a mut dyn Observer<P>, second: &'a mut dyn Observer<P>) -> Self {
+        Fanout { first, second }
+    }
+}
+
+impl<P: Protocol> Observer<P> for Fanout<'_, P> {
+    fn needs_full_before(&self) -> bool {
+        self.first.needs_full_before() || self.second.needs_full_before()
+    }
+
+    fn step(&mut self, graph: &Graph, delta: &StepDelta<'_, P>, after: &[P::State]) {
+        self.first.step(graph, delta, after);
+        self.second.step(graph, delta, after);
+    }
+}
+
+/// When a [`Simulator::run`] should stop, beyond reaching a terminal
+/// configuration (which always stops the run).
+///
+/// The legacy entry points map onto this enum: `run_to_fixpoint` is
+/// [`StopPolicy::Fixpoint`], `run_until` is [`StopPolicy::Predicate`], and
+/// a plain budget-bounded run is [`StopPolicy::Limits`].
+pub enum StopPolicy<'a, P: Protocol> {
+    /// Run to a terminal configuration; exhausting the budget is an error
+    /// ([`SimError::MaxStepsExceeded`] / [`SimError::MaxRoundsExceeded`]).
+    Fixpoint(RunLimits),
+    /// Run until the predicate holds (checked before every step) or the
+    /// configuration is terminal; exhausting the budget is an error.
+    Predicate(RunLimits, &'a mut dyn FnMut(&Simulator<P>) -> bool),
+    /// Run until the budget is consumed; reaching it is *success* (the
+    /// stats are returned), not an error. Use for "run exactly N
+    /// steps/rounds" workloads.
+    Limits(RunLimits),
+}
+
 /// Simulator for a [`Protocol`] over a network, under a pluggable
 /// [`Daemon`], with round accounting per the paper's definition.
 ///
@@ -158,6 +222,9 @@ pub struct Simulator<P: Protocol> {
     rounds: RoundCounter,
     /// Whether daemon selections are validated against the model contract.
     validate: bool,
+    /// Default run budget, configurable via [`SimBuilder::limits`]; handy
+    /// as the argument to a [`StopPolicy`].
+    limits: RunLimits,
     // --- Reused per-step scratch (never reallocated in steady state) ---
     /// Last step's daemon selection; exposed via `last_executed`.
     selection: Vec<(ProcId, ActionId)>,
@@ -208,6 +275,7 @@ impl<P: Protocol> Simulator<P> {
             steps: 0,
             rounds,
             validate: cfg!(debug_assertions),
+            limits: RunLimits::default(),
             selection: Vec::new(),
             old_states: Vec::new(),
             new_states: Vec::new(),
@@ -217,6 +285,30 @@ impl<P: Protocol> Simulator<P> {
             dirty: Vec::with_capacity(n),
             changes: Vec::with_capacity(n),
         }
+    }
+
+    /// Starts fluent construction of a simulator: initial configuration,
+    /// validation and default run budget in one expression.
+    ///
+    /// ```
+    /// # use pif_daemon::{Simulator, RunLimits, Protocol, View, ActionId};
+    /// # use pif_graph::generators;
+    /// # struct Noop;
+    /// # impl Protocol for Noop {
+    /// #     type State = u8;
+    /// #     fn action_names(&self) -> &'static [&'static str] { &[] }
+    /// #     fn enabled_actions(&self, _: View<'_, u8>, _: &mut Vec<ActionId>) {}
+    /// #     fn execute(&self, _: View<'_, u8>, _: ActionId) -> u8 { 0 }
+    /// # }
+    /// let sim = Simulator::builder(generators::chain(4).unwrap(), Noop)
+    ///     .states(vec![0; 4])
+    ///     .validation(true)
+    ///     .limits(RunLimits::new(10_000, 1_000))
+    ///     .build();
+    /// assert!(sim.validation());
+    /// ```
+    pub fn builder(graph: Graph, protocol: P) -> SimBuilder<P> {
+        SimBuilder { graph, protocol, states: None, validation: None, limits: RunLimits::default() }
     }
 
     /// The network topology.
@@ -260,6 +352,13 @@ impl<P: Protocol> Simulator<P> {
     #[inline]
     pub fn validation(&self) -> bool {
         self.validate
+    }
+
+    /// The default run budget configured at construction (via
+    /// [`SimBuilder::limits`]; [`RunLimits::generous`] otherwise).
+    #[inline]
+    pub fn limits(&self) -> RunLimits {
+        self.limits
     }
 
     /// Overwrites the configuration (e.g. to inject faults mid-run) and
@@ -391,24 +490,93 @@ impl<P: Protocol> Simulator<P> {
         for (&(p, _), new) in selection.iter().zip(new_states.drain(..)) {
             old_states.push(std::mem::replace(&mut self.states[p.index()], new));
         }
+        let step_index = self.steps;
         self.steps += 1;
         self.recompute_enabled_after(&selection);
+
+        // Round accounting settles before observers run, so the delta can
+        // carry the authoritative round-completion flag.
+        let round_completed = self
+            .rounds
+            .observe_step(selection.iter().map(|&(p, _)| p), self.changes.iter().copied());
 
         let delta = StepDelta {
             executed: &selection,
             old_states: &old_states,
             before: needs_before.then_some(self.before_scratch.as_slice()),
+            step: step_index,
+            round_completed,
         };
         observer.step(&self.graph, &delta, &self.states);
 
-        let round_completed = self
-            .rounds
-            .observe_step(selection.iter().map(|&(p, _)| p), self.changes.iter().copied());
         let executed = selection.len();
         self.selection = selection;
         self.old_states = old_states;
         self.new_states = new_states;
         Ok(StepReport { executed, round_completed, terminal: self.is_terminal() })
+    }
+
+    /// Runs the simulation until `policy` says to stop (or the
+    /// configuration is terminal, which always stops a run), notifying
+    /// `observer` on every step.
+    ///
+    /// This is the single run entry point; [`Simulator::run_until`],
+    /// [`Simulator::run_until_observed`] and [`Simulator::run_to_fixpoint`]
+    /// are thin delegates kept for familiarity.
+    ///
+    /// Returns statistics *relative to the start of this call* (steps and
+    /// rounds consumed by the run, not lifetime totals).
+    ///
+    /// # Errors
+    ///
+    /// Budget errors ([`SimError::MaxStepsExceeded`],
+    /// [`SimError::MaxRoundsExceeded`]) for the [`StopPolicy::Fixpoint`]
+    /// and [`StopPolicy::Predicate`] policies, or daemon contract
+    /// violations from any policy. Under [`StopPolicy::Limits`] the budget
+    /// is a stop condition, not an error.
+    pub fn run(
+        &mut self,
+        daemon: &mut dyn Daemon<P::State>,
+        observer: &mut dyn Observer<P>,
+        mut policy: StopPolicy<'_, P>,
+    ) -> Result<RunStats, SimError> {
+        let start_steps = self.steps;
+        let start_rounds = self.rounds.completed();
+        let limits = match &policy {
+            StopPolicy::Fixpoint(l) | StopPolicy::Predicate(l, _) | StopPolicy::Limits(l) => *l,
+        };
+        let budget_is_error = !matches!(policy, StopPolicy::Limits(_));
+        loop {
+            if let StopPolicy::Predicate(_, target) = &mut policy {
+                if target(self) {
+                    return Ok(self.stats_since(start_steps, start_rounds));
+                }
+            }
+            if self.is_terminal() {
+                return Ok(self.stats_since(start_steps, start_rounds));
+            }
+            if self.steps - start_steps >= limits.max_steps {
+                return if budget_is_error {
+                    Err(SimError::MaxStepsExceeded {
+                        steps: self.steps - start_steps,
+                        rounds: self.rounds.completed() - start_rounds,
+                    })
+                } else {
+                    Ok(self.stats_since(start_steps, start_rounds))
+                };
+            }
+            if self.rounds.completed() - start_rounds >= limits.max_rounds {
+                return if budget_is_error {
+                    Err(SimError::MaxRoundsExceeded {
+                        steps: self.steps - start_steps,
+                        rounds: self.rounds.completed() - start_rounds,
+                    })
+                } else {
+                    Ok(self.stats_since(start_steps, start_rounds))
+                };
+            }
+            self.step_observed(daemon, observer)?;
+        }
     }
 
     /// Runs until `target` holds (checked before every step), the
@@ -431,7 +599,7 @@ impl<P: Protocol> Simulator<P> {
     where
         F: FnMut(&Self) -> bool,
     {
-        self.run_until_observed(daemon, &mut NoOpObserver, limits, &mut target)
+        self.run(daemon, &mut NoOpObserver, StopPolicy::Predicate(limits, &mut target))
     }
 
     /// Like [`Simulator::run_until`] with an [`Observer`].
@@ -442,29 +610,7 @@ impl<P: Protocol> Simulator<P> {
         limits: RunLimits,
         target: &mut dyn FnMut(&Self) -> bool,
     ) -> Result<RunStats, SimError> {
-        let start_steps = self.steps;
-        let start_rounds = self.rounds.completed();
-        loop {
-            if target(self) {
-                return Ok(self.stats_since(start_steps, start_rounds));
-            }
-            if self.is_terminal() {
-                return Ok(self.stats_since(start_steps, start_rounds));
-            }
-            if self.steps - start_steps >= limits.max_steps {
-                return Err(SimError::MaxStepsExceeded {
-                    steps: self.steps - start_steps,
-                    rounds: self.rounds.completed() - start_rounds,
-                });
-            }
-            if self.rounds.completed() - start_rounds >= limits.max_rounds {
-                return Err(SimError::MaxRoundsExceeded {
-                    steps: self.steps - start_steps,
-                    rounds: self.rounds.completed() - start_rounds,
-                });
-            }
-            self.step_observed(daemon, observer)?;
-        }
+        self.run(daemon, observer, StopPolicy::Predicate(limits, target))
     }
 
     /// Runs until the configuration is terminal (no enabled processor).
@@ -477,7 +623,7 @@ impl<P: Protocol> Simulator<P> {
         daemon: &mut dyn Daemon<P::State>,
         limits: RunLimits,
     ) -> Result<RunStats, SimError> {
-        self.run_until(daemon, limits, |_| false)
+        self.run(daemon, &mut NoOpObserver, StopPolicy::Fixpoint(limits))
     }
 
     fn stats_since(&self, start_steps: u64, start_rounds: u64) -> RunStats {
@@ -586,6 +732,62 @@ impl<P: Protocol> Simulator<P> {
             let bits = &self.enabled_bits;
             self.enabled_procs.extend(bits.iter().map(ProcId::from_index));
         }
+    }
+}
+
+/// Fluent constructor for [`Simulator`], created by
+/// [`Simulator::builder`]. Consolidates `new` + `set_states` +
+/// `set_validation` + [`RunLimits`] into one construction path.
+pub struct SimBuilder<P: Protocol> {
+    graph: Graph,
+    protocol: P,
+    states: Option<Vec<P::State>>,
+    validation: Option<bool>,
+    limits: RunLimits,
+}
+
+impl<P: Protocol> SimBuilder<P> {
+    /// Sets the initial configuration (required; one state per processor).
+    pub fn states(mut self, states: Vec<P::State>) -> Self {
+        self.states = Some(states);
+        self
+    }
+
+    /// Builds the initial configuration from a per-processor closure.
+    pub fn states_with(mut self, mut f: impl FnMut(ProcId) -> P::State) -> Self {
+        self.states = Some(self.graph.procs().map(&mut f).collect());
+        self
+    }
+
+    /// Enables or disables daemon-selection validation (defaults to on in
+    /// debug builds, off in release — see [`Simulator::set_validation`]).
+    pub fn validation(mut self, on: bool) -> Self {
+        self.validation = Some(on);
+        self
+    }
+
+    /// Sets the default run budget, retrievable via [`Simulator::limits`].
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Finalizes the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no initial configuration was provided, or if it does not
+    /// cover every processor (same contract as [`Simulator::new`]).
+    pub fn build(self) -> Simulator<P> {
+        let states = self
+            .states
+            .expect("SimBuilder: an initial configuration is required (states/states_with)");
+        let mut sim = Simulator::new(self.graph, self.protocol, states);
+        if let Some(on) = self.validation {
+            sim.set_validation(on);
+        }
+        sim.limits = self.limits;
+        sim
     }
 }
 
@@ -788,6 +990,101 @@ mod tests {
         )
         .unwrap();
         assert!(obs.saw > 0);
+    }
+
+    #[test]
+    fn builder_matches_manual_construction() {
+        let g = generators::chain(4).unwrap();
+        let mut manual = Simulator::new(g.clone(), PushRight, vec![3, 0, 0, 0]);
+        manual.set_validation(true);
+        let built = Simulator::builder(g, PushRight)
+            .states(vec![3, 0, 0, 0])
+            .validation(true)
+            .limits(RunLimits::new(42, 7))
+            .build();
+        assert_eq!(manual.states(), built.states());
+        assert_eq!(manual.enabled_procs(), built.enabled_procs());
+        assert!(built.validation());
+        assert_eq!(built.limits(), RunLimits::new(42, 7));
+    }
+
+    #[test]
+    fn builder_states_with_closure() {
+        let sim = Simulator::builder(generators::chain(3).unwrap(), PushRight)
+            .states_with(|p| p.index() as i32)
+            .build();
+        assert_eq!(sim.states(), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial configuration is required")]
+    fn builder_requires_states() {
+        let _ = Simulator::builder(generators::chain(3).unwrap(), PushRight).build();
+    }
+
+    #[test]
+    fn stop_policy_limits_is_success_not_error() {
+        let g = generators::chain(4).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![1000, 0, 0, 0]);
+        let stats = sim
+            .run(
+                &mut Synchronous::first_action(),
+                &mut NoOpObserver,
+                StopPolicy::Limits(RunLimits::new(5, 1000)),
+            )
+            .unwrap();
+        assert_eq!(stats.steps, 5);
+        assert!(!stats.terminal);
+    }
+
+    #[test]
+    fn fanout_feeds_both_observers() {
+        struct Counter(u64);
+        impl Observer<PushRight> for Counter {
+            fn step(&mut self, _: &Graph, delta: &StepDelta<'_, PushRight>, _: &[i32]) {
+                self.0 += delta.executed().len() as u64;
+            }
+        }
+        let g = generators::chain(3).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![2, 1, 0]);
+        let (mut a, mut b) = (Counter(0), Counter(0));
+        let mut both = Fanout::new(&mut a, &mut b);
+        sim.run(
+            &mut Synchronous::first_action(),
+            &mut both,
+            StopPolicy::Fixpoint(RunLimits::default()),
+        )
+        .unwrap();
+        assert!(a.0 > 0);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn delta_carries_step_index_and_round_flag() {
+        struct Check {
+            expected_next_step: u64,
+            rounds_seen: u64,
+        }
+        impl Observer<PushRight> for Check {
+            fn step(&mut self, _: &Graph, delta: &StepDelta<'_, PushRight>, _: &[i32]) {
+                assert_eq!(delta.step(), self.expected_next_step);
+                self.expected_next_step += 1;
+                if delta.round_completed() {
+                    self.rounds_seen += 1;
+                }
+            }
+        }
+        let g = generators::chain(3).unwrap();
+        let mut sim = Simulator::new(g, PushRight, vec![4, 2, 0]);
+        let mut obs = Check { expected_next_step: 0, rounds_seen: 0 };
+        sim.run(
+            &mut Synchronous::first_action(),
+            &mut obs,
+            StopPolicy::Fixpoint(RunLimits::default()),
+        )
+        .unwrap();
+        assert_eq!(obs.expected_next_step, sim.steps());
+        assert_eq!(obs.rounds_seen, sim.rounds());
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub struct TraceStep {
 ///
 /// Use it as an [`Observer`] with
 /// [`Simulator::step_observed`](crate::Simulator::step_observed) or
-/// [`Simulator::run_until_observed`](crate::Simulator::run_until_observed).
+/// [`Simulator::run`](crate::Simulator::run).
 /// Recording full configurations is memory-hungry (`O(steps × N)`); enable
 /// it only for focused debugging via [`Trace::with_configurations`].
 ///
@@ -26,7 +26,7 @@ pub struct TraceStep {
 ///
 /// ```
 /// use pif_daemon::trace::Trace;
-/// use pif_daemon::{ActionId, Protocol, RunLimits, Simulator, View};
+/// use pif_daemon::{ActionId, Protocol, RunLimits, Simulator, StopPolicy, View};
 /// use pif_daemon::daemons::Synchronous;
 /// use pif_graph::generators;
 ///
@@ -44,9 +44,9 @@ pub struct TraceStep {
 /// let g = generators::chain(3)?;
 /// let mut sim = Simulator::new(g, Zeroing, vec![1, 0, 2]);
 /// let mut trace = Trace::<Zeroing>::new();
-/// let mut stop = |_: &Simulator<Zeroing>| false;
-/// sim.run_until_observed(
-///     &mut Synchronous::first_action(), &mut trace, RunLimits::default(), &mut stop)?;
+/// sim.run(
+///     &mut Synchronous::first_action(), &mut trace,
+///     StopPolicy::Fixpoint(RunLimits::default()))?;
 /// assert_eq!(trace.len(), 1); // both processors moved in one step
 /// assert_eq!(trace.steps()[0].executed.len(), 2);
 /// # Ok(())
@@ -166,12 +166,10 @@ mod tests {
         let g = generators::chain(3).unwrap();
         let mut sim = Simulator::new(g, Dec, vec![2, 0, 1]);
         let mut trace = if with_configs { Trace::with_configurations() } else { Trace::new() };
-        let mut stop = |_: &Simulator<Dec>| false;
-        sim.run_until_observed(
+        sim.run(
             &mut CentralSequential::new(),
             &mut trace,
-            RunLimits::default(),
-            &mut stop,
+            crate::StopPolicy::Fixpoint(RunLimits::default()),
         )
         .unwrap();
         (trace, sim)

@@ -528,6 +528,92 @@ impl Topology {
         }
     }
 
+    /// Parses a compact topology spec of the form `family:params`, the
+    /// format accepted by the command-line tools (e.g. `pif-trace`):
+    ///
+    /// | Spec                  | Topology                                |
+    /// |-----------------------|-----------------------------------------|
+    /// | `chain:N`             | [`Topology::Chain`]                     |
+    /// | `ring:N`              | [`Topology::Ring`]                      |
+    /// | `star:N`              | [`Topology::Star`]                      |
+    /// | `complete:N`          | [`Topology::Complete`]                  |
+    /// | `tree:N:K`            | [`Topology::KaryTree`]                  |
+    /// | `randtree:N:SEED`     | [`Topology::RandomTree`]                |
+    /// | `grid:WxH`            | [`Topology::Grid`]                      |
+    /// | `torus:WxH`           | [`Topology::Torus`]                     |
+    /// | `hypercube:D`         | [`Topology::Hypercube`]                 |
+    /// | `lollipop:C:T`        | [`Topology::Lollipop`]                  |
+    /// | `caterpillar:S:L`     | [`Topology::Caterpillar`]               |
+    /// | `wheel:N`             | [`Topology::Wheel`]                     |
+    /// | `bipartite:AxB`       | [`Topology::Bipartite`]                 |
+    /// | `petersen`            | [`Topology::Petersen`]                  |
+    /// | `barbell:C:B`         | [`Topology::Barbell`]                   |
+    /// | `random:N:P:SEED`     | [`Topology::Random`]                    |
+    ///
+    /// Parsing only checks the spec's shape; parameter validity (e.g. a
+    /// zero-sized grid) is still reported by [`Topology::build`].
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] naming the malformed spec.
+    pub fn parse(spec: &str) -> Result<Topology, GraphError> {
+        fn bad(spec: &str) -> GraphError {
+            GraphError::InvalidParameter { reason: format!("unrecognized topology spec {spec:?}") }
+        }
+        fn num<T: std::str::FromStr>(part: &str, spec: &str) -> Result<T, GraphError> {
+            part.parse().map_err(|_| bad(spec))
+        }
+        /// Splits `WxH`-style dimension pairs.
+        fn dims(part: &str, spec: &str) -> Result<(usize, usize), GraphError> {
+            let (w, h) = part.split_once('x').ok_or_else(|| bad(spec))?;
+            Ok((num(w, spec)?, num(h, spec)?))
+        }
+        let mut parts = spec.split(':');
+        let family = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        let topo = match (family, args.as_slice()) {
+            ("chain", [n]) => Topology::Chain { n: num(n, spec)? },
+            ("ring", [n]) => Topology::Ring { n: num(n, spec)? },
+            ("star", [n]) => Topology::Star { n: num(n, spec)? },
+            ("complete", [n]) => Topology::Complete { n: num(n, spec)? },
+            ("tree", [n, k]) => Topology::KaryTree { n: num(n, spec)?, k: num(k, spec)? },
+            ("randtree", [n, seed]) => {
+                Topology::RandomTree { n: num(n, spec)?, seed: num(seed, spec)? }
+            }
+            ("grid", [wh]) => {
+                let (w, h) = dims(wh, spec)?;
+                Topology::Grid { w, h }
+            }
+            ("torus", [wh]) => {
+                let (w, h) = dims(wh, spec)?;
+                Topology::Torus { w, h }
+            }
+            ("hypercube", [d]) => Topology::Hypercube { d: num(d, spec)? },
+            ("lollipop", [c, t]) => {
+                Topology::Lollipop { clique: num(c, spec)?, tail: num(t, spec)? }
+            }
+            ("caterpillar", [s, l]) => {
+                Topology::Caterpillar { spine: num(s, spec)?, legs: num(l, spec)? }
+            }
+            ("wheel", [n]) => Topology::Wheel { n: num(n, spec)? },
+            ("bipartite", [ab]) => {
+                let (a, b) = dims(ab, spec)?;
+                Topology::Bipartite { a, b }
+            }
+            ("petersen", []) => Topology::Petersen,
+            ("barbell", [c, b]) => {
+                Topology::Barbell { clique: num(c, spec)?, bridge: num(b, spec)? }
+            }
+            ("random", [n, p, seed]) => Topology::Random {
+                n: num(n, spec)?,
+                p: num(p, spec)?,
+                seed: num(seed, spec)?,
+            },
+            _ => return Err(bad(spec)),
+        };
+        Ok(topo)
+    }
+
     /// A representative mixed suite of small-to-medium topologies covering
     /// trees, sparse cyclic graphs, dense graphs, and random graphs — the
     /// default workload of the experiment harness.
@@ -550,6 +636,14 @@ impl Topology {
             Topology::Barbell { clique: 4, bridge: 3 },
             Topology::Random { n: 16, p: 0.2, seed: 11 },
         ]
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = GraphError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Topology::parse(s)
     }
 }
 
@@ -745,5 +839,40 @@ mod tests {
     #[test]
     fn topology_display_uses_graph_name() {
         assert_eq!(Topology::Ring { n: 5 }.to_string(), "ring(5)");
+    }
+
+    #[test]
+    fn topology_specs_parse() {
+        let cases = [
+            ("chain:16", Topology::Chain { n: 16 }),
+            ("ring:7", Topology::Ring { n: 7 }),
+            ("star:5", Topology::Star { n: 5 }),
+            ("complete:6", Topology::Complete { n: 6 }),
+            ("tree:15:2", Topology::KaryTree { n: 15, k: 2 }),
+            ("randtree:16:7", Topology::RandomTree { n: 16, seed: 7 }),
+            ("grid:4x3", Topology::Grid { w: 4, h: 3 }),
+            ("torus:8x8", Topology::Torus { w: 8, h: 8 }),
+            ("hypercube:4", Topology::Hypercube { d: 4 }),
+            ("lollipop:6:8", Topology::Lollipop { clique: 6, tail: 8 }),
+            ("caterpillar:5:2", Topology::Caterpillar { spine: 5, legs: 2 }),
+            ("wheel:12", Topology::Wheel { n: 12 }),
+            ("bipartite:4x6", Topology::Bipartite { a: 4, b: 6 }),
+            ("petersen", Topology::Petersen),
+            ("barbell:4:3", Topology::Barbell { clique: 4, bridge: 3 }),
+            ("random:16:0.2:11", Topology::Random { n: 16, p: 0.2, seed: 11 }),
+        ];
+        for (spec, want) in cases {
+            let got: Topology = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(got, want, "{spec}");
+            got.build().unwrap_or_else(|e| panic!("{spec} build: {e}"));
+        }
+    }
+
+    #[test]
+    fn malformed_topology_specs_are_typed_errors() {
+        for bad in ["", "chain", "chain:x", "torus:4", "torus:4x", "grid:4x4x4", "mobius:5"] {
+            let err = Topology::parse(bad).unwrap_err();
+            assert!(matches!(err, GraphError::InvalidParameter { .. }), "{bad}: {err}");
+        }
     }
 }

@@ -53,6 +53,50 @@ use pif_core::{Phase, PifProtocol, PifState};
 use pif_daemon::{ActionId, Protocol, View};
 use pif_graph::{Graph, ProcId};
 
+/// Error raised when an instance is outside what exhaustive checking can
+/// handle, or when a query refers to states outside the register domains.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The network has more processors than the overlay bitmaps support.
+    NetworkTooLarge {
+        /// Processors in the offending network.
+        n: usize,
+        /// The checker's hard limit.
+        max: usize,
+    },
+    /// The configuration count exceeds the exhaustive-search budget.
+    SpaceTooLarge {
+        /// Base-2 logarithm of the configuration-count limit.
+        limit_log2: u32,
+    },
+    /// A queried state lies outside its processor's register domain.
+    OutOfDomain {
+        /// The processor whose domain is violated.
+        proc: ProcId,
+        /// The offending state.
+        state: PifState,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::NetworkTooLarge { n, max } => {
+                write!(f, "model checking is for tiny networks: {n} processors exceeds {max}")
+            }
+            VerifyError::SpaceTooLarge { limit_log2 } => {
+                write!(f, "configuration space exceeds 2^{limit_log2}; too large for exhaustive checking")
+            }
+            VerifyError::OutOfDomain { proc, state } => {
+                write!(f, "state {state} out of domain for processor {proc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
 /// The complete configuration space of one protocol instance on one
 /// (tiny) network.
 #[derive(Clone, Debug)]
@@ -127,9 +171,26 @@ impl StateSpace {
     ///
     /// Panics if the configuration count exceeds `2^40` or the network
     /// has more than 16 processors (the overlay bitmaps are `u16`); this
-    /// checker is for `N ≤ 4`-ish instances.
+    /// checker is for `N ≤ 4`-ish instances. [`StateSpace::try_new`]
+    /// reports the same conditions as a [`VerifyError`] instead.
     pub fn new(graph: Graph, protocol: PifProtocol) -> Self {
-        assert!(graph.len() <= 16, "model checking is for tiny networks");
+        Self::try_new(graph, protocol).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the state space, reporting an oversized instance as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::NetworkTooLarge`] for more than 16 processors (the
+    /// search overlays are `u16` bitmaps), [`VerifyError::SpaceTooLarge`]
+    /// when the configuration count would exceed `2^40`.
+    pub fn try_new(graph: Graph, protocol: PifProtocol) -> Result<Self, VerifyError> {
+        const MAX_PROCS: usize = 16;
+        const LIMIT_LOG2: u32 = 40;
+        if graph.len() > MAX_PROCS {
+            return Err(VerifyError::NetworkTooLarge { n: graph.len(), max: MAX_PROCS });
+        }
         let mut domains = Vec::with_capacity(graph.len());
         for p in graph.procs() {
             domains.push(Self::domain_of(&graph, &protocol, p));
@@ -140,14 +201,14 @@ impl StateSpace {
             strides[i] = total;
             total = total
                 .checked_mul(d.len() as u64)
-                .filter(|&t| t < (1 << 40))
-                .expect("configuration space too large for exhaustive checking");
+                .filter(|&t| t < (1 << LIMIT_LOG2))
+                .ok_or(VerifyError::SpaceTooLarge { limit_log2: LIMIT_LOG2 })?;
         }
         let index = domains
             .iter()
             .map(|d| d.iter().enumerate().map(|(i, s)| (*s, i as u32)).collect())
             .collect();
-        StateSpace { graph, protocol, domains, strides, index, total }
+        Ok(StateSpace { graph, protocol, domains, strides, index, total })
     }
 
     /// All in-domain register states of processor `p`.
@@ -213,16 +274,28 @@ impl StateSpace {
     ///
     /// # Panics
     ///
-    /// Panics if any state is outside its processor's domain.
+    /// Panics if any state is outside its processor's domain;
+    /// [`StateSpace::try_encode`] reports that as a typed error instead.
     pub fn encode(&self, states: &[PifState]) -> u64 {
+        self.try_encode(states).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Encodes register states into a configuration id, reporting
+    /// out-of-domain states as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::OutOfDomain`] naming the first offending processor.
+    pub fn try_encode(&self, states: &[PifState]) -> Result<u64, VerifyError> {
         let mut id = 0u64;
         for (i, s) in states.iter().enumerate() {
-            let di = *self.index[i]
-                .get(s)
-                .unwrap_or_else(|| panic!("state {s} out of domain for processor {i}"));
+            let di = *self.index[i].get(s).ok_or(VerifyError::OutOfDomain {
+                proc: ProcId::from_index(i),
+                state: *s,
+            })?;
             id += u64::from(di) * self.strides[i];
         }
-        id
+        Ok(id)
     }
 
     /// Enabled actions of every processor in `states`, filled into a
@@ -558,6 +631,30 @@ mod tests {
             let states = s.decode(id);
             assert_eq!(s.encode(&states), id);
         }
+    }
+
+    #[test]
+    fn oversized_instances_are_typed_errors() {
+        let g = generators::ring(20).unwrap();
+        let p = PifProtocol::new(ProcId(0), &g);
+        let err = StateSpace::try_new(g, p).unwrap_err();
+        assert_eq!(err, VerifyError::NetworkTooLarge { n: 20, max: 16 });
+        // Within the processor cap but over the configuration budget.
+        let g = generators::complete(12).unwrap();
+        let p = PifProtocol::new(ProcId(0), &g);
+        let err = StateSpace::try_new(g, p).unwrap_err();
+        assert!(matches!(err, VerifyError::SpaceTooLarge { .. }), "{err}");
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn out_of_domain_encode_is_a_typed_error() {
+        let s = space(3);
+        // p1's level domain is [1, l_max]; level 0 is physically impossible.
+        let mut states = s.decode(0);
+        states[1].level = 0;
+        let err = s.try_encode(&states).unwrap_err();
+        assert!(matches!(err, VerifyError::OutOfDomain { proc: ProcId(1), .. }), "{err}");
     }
 
     #[test]

@@ -75,11 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut stop = |s: &Simulator<PifProtocol>| {
         s.steps() > 0 && initial::is_normal_starting(s.states())
     };
-    sim2.run_until_observed(
+    sim2.run(
         &mut Synchronous::first_action(),
         &mut trace,
-        pif_daemon::RunLimits::default(),
-        &mut stop,
+        pif_daemon::StopPolicy::Predicate(pif_daemon::RunLimits::default(), &mut stop),
     )?;
     println!("\n{}", analysis::timeline::render(&p2, &trace));
     Ok(())

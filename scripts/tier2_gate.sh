@@ -1,9 +1,21 @@
 #!/bin/sh
-# Tier-2 CI gate: release build, full test suite, and clippy with
-# warnings promoted to errors. Run from the repository root; exits
-# non-zero on the first failing stage.
+# Tier-2 CI gate: release build, full test suite, clippy and rustdoc with
+# warnings promoted to errors, plus a trace record -> replay -> diff
+# smoke check. Run from the repository root; exits non-zero on the first
+# failing stage.
 set -eux
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+# Trace layer smoke: a recorded run on a small torus must replay to a
+# byte-identical trace (same executions, final configuration and
+# per-phase metrics) and diff as identical.
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/pif-trace record torus:4x4 "$trace_dir/a.jsonl" central-rand 7 2000
+./target/release/pif-trace replay "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
+cmp "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
+./target/release/pif-trace diff "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"

@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pif_daemon::daemons::CentralRandom;
-use pif_daemon::{ActionId, Protocol, Simulator, View};
+use pif_daemon::{ActionId, MetricsObserver, Protocol, Simulator, View};
 use pif_graph::{generators, ProcId};
 
 struct CountingAlloc;
@@ -136,4 +136,43 @@ fn steady_state_steps_do_not_allocate() {
         after - before
     );
     assert!(sim.rounds() > 0, "round accounting must still advance");
+}
+
+#[test]
+fn steady_state_metrics_observation_does_not_allocate() {
+    // Same contract with the phase-metrics observer attached: classifying
+    // actions, bumping per-phase counters, per-processor correction
+    // tallies and the latency histogram must all run out of storage
+    // precomputed in `MetricsObserver::for_protocol`.
+    let n = 64;
+    let g = generators::ring(n).unwrap();
+    let protocol = TokenRing { k: n as u32 + 1, n };
+    let mut metrics = MetricsObserver::for_protocol(&protocol, n);
+    let init: Vec<u32> = (0..n as u32).map(|i| (i * 7) % (n as u32 + 1)).collect();
+    let mut sim = Simulator::new(g, protocol, init);
+    sim.set_validation(true);
+    let mut daemon = CentralRandom::new(0xA110C);
+
+    for _ in 0..2_000 {
+        let rep = sim.step_observed(&mut daemon, &mut metrics).unwrap();
+        assert!(!rep.terminal, "token ring must never terminate");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    TRACKING.with(|t| t.set(true));
+    for _ in 0..10_000 {
+        sim.step_observed(&mut daemon, &mut metrics).unwrap();
+    }
+    TRACKING.with(|t| t.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "metrics-observed hot loop allocated {} time(s) across 10k steady-state steps",
+        after - before
+    );
+    let report = metrics.report();
+    assert_eq!(report.total_steps, 12_000);
+    assert!(report.total_rounds > 0, "phase round accounting must advance");
 }

@@ -63,10 +63,15 @@ fn cycles_return_to_the_normal_starting_configuration() {
     let mut d = pif_daemon::daemons::CentralRandom::new(4);
     for cycle in 0..2 {
         let floor = sim.steps();
+        let mut cycled = move |s: &Simulator<PifProtocol>| {
+            s.steps() > floor && initial::is_normal_starting(s.states())
+        };
         let stats = sim
-            .run_until(&mut d, RunLimits::default(), move |s| {
-                s.steps() > floor && initial::is_normal_starting(s.states())
-            })
+            .run(
+                &mut d,
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Predicate(RunLimits::default(), &mut cycled),
+            )
             .unwrap();
         assert!(stats.steps > 0, "cycle {cycle} made no progress");
         assert!(initial::is_normal_starting(sim.states()));
@@ -109,8 +114,12 @@ fn all_panel_daemons_are_weakly_fair_on_pif_workloads() {
             }
             cycles >= 2
         };
-        sim.run_until_observed(daemon.as_mut(), &mut auditor, RunLimits::default(), &mut target)
-            .unwrap();
+        sim.run(
+            daemon.as_mut(),
+            &mut auditor,
+            pif_daemon::StopPolicy::Predicate(RunLimits::default(), &mut target),
+        )
+        .unwrap();
         // AdversarialLifo promises 4N; everything else is far fairer.
         let bound = 4 * n as u64 + 1;
         assert!(

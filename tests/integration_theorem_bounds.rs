@@ -47,6 +47,7 @@ fn theorem3_glt_bound() {
 
 #[test]
 fn theorem2_phase_bounds() {
+    use pif_daemon::PhaseTag;
     for t in [Topology::Chain { n: 7 }, Topology::Star { n: 7 }] {
         for case in e4_phase_bounds::Case::ALL {
             let row = e4_phase_bounds::measure(&t, case, 5);
@@ -57,6 +58,27 @@ fn theorem2_phase_bounds() {
                 row.stats.max,
                 row.bound
             );
+            // Per-phase round counts: no single phase can exceed the case
+            // bound, corrections obey the Theorem 1 window `3·L_max + 3`,
+            // and the attribution is live (some phase saw a round).
+            for tag in PhaseTag::ALL {
+                assert!(
+                    row.phase_rounds_of(tag) <= row.bound,
+                    "{t:?} {}: {tag} rounds {} > bound {}",
+                    case.name(),
+                    row.phase_rounds_of(tag),
+                    row.bound
+                );
+            }
+            assert!(
+                row.phase_rounds_of(PhaseTag::Correction) <= row.corr_bound,
+                "{t:?} {}: correction rounds {} > 3·L_max+3 = {}",
+                case.name(),
+                row.phase_rounds_of(PhaseTag::Correction),
+                row.corr_bound
+            );
+            assert!(PhaseTag::ALL.iter().any(|&tag| row.phase_rounds_of(tag) > 0));
+            assert_eq!(row.phase_rounds_of(PhaseTag::Other), 0, "every PIF action has a phase");
         }
     }
 }

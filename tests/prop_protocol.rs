@@ -70,10 +70,15 @@ proptest! {
         let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
         let proto = protocol.clone();
         let graph = g.clone();
+        let mut recovered = move |s: &Simulator<PifProtocol>| {
+            analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
+        };
         let stats = sim
-            .run_until(&mut Synchronous::first_action(), limits(), move |s| {
-                analysis::abnormal_procs(&proto, &graph, s.states()).is_empty()
-            })
+            .run(
+                &mut Synchronous::first_action(),
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Predicate(limits(), &mut recovered),
+            )
             .unwrap();
         let bound = 3 * u64::from(protocol.l_max()) + 3;
         prop_assert!(stats.rounds <= bound, "{} > {}", stats.rounds, bound);
@@ -117,10 +122,15 @@ proptest! {
         let init = initial::normal_starting(&g);
         let mut sim = Simulator::new(g.clone(), protocol.clone(), init);
         let mut daemon = CentralRandom::new(dseed);
+        let mut cycled = |s: &Simulator<PifProtocol>| {
+            s.steps() > 0 && initial::is_normal_starting(s.states())
+        };
         let stats = sim
-            .run_until(&mut daemon, limits(), |s| {
-                s.steps() > 0 && initial::is_normal_starting(s.states())
-            })
+            .run(
+                &mut daemon,
+                &mut pif_daemon::NoOpObserver,
+                pif_daemon::StopPolicy::Predicate(limits(), &mut cycled),
+            )
             .unwrap();
         prop_assert!(stats.steps > 0);
         let summary = analysis::classify(&protocol, &g, sim.states());
