@@ -1,0 +1,160 @@
+//! Emits exhaustive-checker throughput measurements as JSON on stdout,
+//! and differentially asserts that the sequential and parallel engines
+//! return identical reports on every measured instance (the tier-2 gate
+//! runs this as its verify smoke).
+//!
+//! Used to produce `BENCH_verify_throughput.json`:
+//!
+//! ```text
+//! cargo run --release --bin exp_verify_throughput [-- --workers N] > BENCH_verify_throughput.json
+//! ```
+//!
+//! The embedded `baseline_states_per_sec` figures are the pre-rewrite
+//! sequential checker (commit 2ca1ba9: monolithic `HashSet`, no guard
+//! memo, per-transition `enabled_into`) measured in the same container,
+//! so `seq_vs_baseline` tracks what the allocation-lean sequential path
+//! alone bought.
+
+use pif_core::PifProtocol;
+use pif_graph::{generators, Graph, ProcId};
+use pif_verify::{Checker, StateSpace};
+
+/// Minimum wall-clock spent per measurement after the cold run.
+const MIN_SECS: f64 = 0.3;
+
+/// Pre-rewrite sequential throughput (states/sec), measured at commit
+/// 2ca1ba9 in this container: (instance, check, states_per_sec).
+const BASELINE: &[(&str, &str, f64)] = &[
+    ("chain2", "correction_bound", 1_446_631.0),
+    ("chain2", "snap_safety", 2_944_196.0),
+    ("chain3", "correction_bound", 1_066_289.0),
+    ("chain3", "snap_safety", 1_595_139.0),
+    ("triangle", "correction_bound", 957_846.0),
+    ("triangle", "snap_safety", 1_512_399.0),
+];
+
+#[derive(Clone, Debug, PartialEq)]
+struct Summary {
+    states_explored: u64,
+    violation_count: u64,
+    verified: bool,
+    violations: String,
+}
+
+fn run_check(space: &StateSpace, checker: Checker, check: &str) -> Summary {
+    match check {
+        "correction_bound" => {
+            let bound = 3 * u32::from(space.protocol().l_max()) + 3;
+            let r = checker.check_correction_bound(space, bound);
+            Summary {
+                states_explored: r.states_explored,
+                violation_count: r.violation_count,
+                verified: r.verified(),
+                violations: format!("{:?}", r.violations),
+            }
+        }
+        "snap_safety" => {
+            let r = checker.check_snap_safety(space, true);
+            Summary {
+                states_explored: r.states_explored,
+                violation_count: r.violation_count,
+                verified: r.verified(),
+                violations: format!("{:?}", r.violations),
+            }
+        }
+        other => panic!("unknown check {other}"),
+    }
+}
+
+/// Measures steady-state throughput of `check` under `checker` on a
+/// fresh space (the cold run, which includes the one-time guard-memo
+/// build, is reported separately and excluded from the rate).
+fn measure(graph: &Graph, checker: Checker, check: &str) -> (Summary, f64) {
+    let protocol = PifProtocol::new(ProcId(0), graph);
+    let space = StateSpace::new(graph.clone(), protocol);
+    let summary = run_check(&space, checker, check); // cold: builds the memo
+    let mut runs = 0u32;
+    let t0 = std::time::Instant::now();
+    loop {
+        let warm = run_check(&space, checker, check);
+        assert_eq!(warm, summary, "nondeterministic report on {check}");
+        runs += 1;
+        if t0.elapsed().as_secs_f64() >= MIN_SECS {
+            break;
+        }
+    }
+    let per_run = t0.elapsed().as_secs_f64() / f64::from(runs);
+    let rate = summary.states_explored as f64 / per_run;
+    (summary, rate)
+}
+
+fn main() {
+    let mut workers = pif_par::available_workers();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers requires a number");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let instances: Vec<(&str, Graph)> = vec![
+        ("chain2", generators::chain(2).unwrap()),
+        ("chain3", generators::chain(3).unwrap()),
+        ("triangle", generators::complete(3).unwrap()),
+    ];
+
+    println!("{{");
+    println!("  \"benchmark\": \"verify_throughput\",");
+    println!("  \"unit\": \"states_per_sec\",");
+    println!("  \"protocol\": \"PifProtocol (arbitrary-network snap PIF)\",");
+    println!(
+        "  \"method\": \"cargo run --release --bin exp_verify_throughput; per engine: fresh StateSpace, one cold run (builds the shared guard memo), then repeated runs for >= {MIN_SECS}s; rate = states_explored / steady-state run time. sequential = Checker::sequential (FIFO + HashSet reference engine), par1/parN = frontier-parallel engine with 1 and N workers over the sharded visited table. baseline = pre-rewrite sequential checker at commit 2ca1ba9, same container. Reports are asserted identical across engines before rates are published.\","
+    );
+    println!("  \"workers\": {workers},");
+    println!("  \"host_parallelism\": {},", pif_par::available_workers());
+    println!("  \"results\": [");
+    let mut first = true;
+    for (name, graph) in &instances {
+        for check in ["correction_bound", "snap_safety"] {
+            let (seq_sum, seq_rate) = measure(graph, Checker::sequential(), check);
+            let (par1_sum, par1_rate) = measure(graph, Checker::with_workers(1), check);
+            let (parn_sum, parn_rate) = measure(graph, Checker::with_workers(workers), check);
+            assert_eq!(seq_sum, par1_sum, "parallel(1) diverged from sequential on {name}/{check}");
+            assert_eq!(seq_sum, parn_sum, "parallel({workers}) diverged from sequential on {name}/{check}");
+            assert!(seq_sum.verified, "{name}/{check} must verify");
+            let baseline = BASELINE
+                .iter()
+                .find(|&&(i, c, _)| i == *name && c == check)
+                .map(|&(_, _, r)| r)
+                .unwrap_or(f64::NAN);
+            if !first {
+                println!(",");
+            }
+            first = false;
+            print!(
+                "    {{\"instance\": \"{name}\", \"check\": \"{check}\", \"states_explored\": {}, \"verified\": {}, \"sequential_states_per_sec\": {:.0}, \"par1_states_per_sec\": {:.0}, \"parN_states_per_sec\": {:.0}, \"baseline_states_per_sec\": {:.0}, \"seq_vs_baseline\": {:.2}, \"parN_vs_seq\": {:.2}}}",
+                seq_sum.states_explored,
+                seq_sum.verified,
+                seq_rate,
+                par1_rate,
+                parn_rate,
+                baseline,
+                seq_rate / baseline,
+                parn_rate / seq_rate,
+            );
+            eprintln!(
+                "{name:>9} {check:<17} states {:>8}  seq {:>9.0}/s  par1 {:>9.0}/s  par{workers} {:>9.0}/s  (baseline {:>9.0}/s, seq x{:.2})",
+                seq_sum.states_explored, seq_rate, par1_rate, parn_rate, baseline, seq_rate / baseline
+            );
+        }
+    }
+    println!();
+    println!("  ]");
+    println!("}}");
+}

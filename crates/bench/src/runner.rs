@@ -1,9 +1,15 @@
 //! Parallel seed sweeps: experiments run thousands of independent
-//! simulations; this fans them out over the available cores with
-//! std's scoped threads.
+//! simulations; this fans them out over the available cores.
+//!
+//! The implementation lives in the shared [`pif_par`] crate (the
+//! exhaustive checker in `pif-verify` uses the same primitives without
+//! depending on the bench harness); this module re-exports it under the
+//! historical `pif_bench::runner` path.
 
 /// Maps `f` over `items` in parallel, preserving input order in the
-/// result.
+/// result. Items are claimed through a shared atomic index (work
+/// stealing), so uneven per-item costs — one slow topology in a sweep —
+/// no longer idle whole threads.
 ///
 /// # Panics
 ///
@@ -23,38 +29,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
-    let chunk_size = n.div_ceil(threads);
-
-    // Move the items into per-thread chunks up front; each worker returns
-    // its mapped chunk, and chunks are re-concatenated in order.
-    let mut chunks: Vec<Vec<T>> = Vec::new();
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<T> = it.by_ref().take(chunk_size).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-
-    let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment worker panicked"))
-            .collect()
-    });
-
-    mapped.into_iter().flatten().collect()
+    pif_par::par_map(items, f)
 }
 
 #[cfg(test)]

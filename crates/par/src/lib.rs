@@ -1,0 +1,217 @@
+//! Shared parallel-execution primitives built on std's scoped threads.
+//!
+//! Two consumers with different shapes of parallelism share this crate:
+//!
+//! * the experiment harness (`pif-bench`) fans thousands of independent
+//!   simulations out over the cores with [`par_map`];
+//! * the exhaustive checker (`pif-verify`) runs frontier-parallel
+//!   breadth-first searches and range-parallel scans with [`run_workers`].
+//!
+//! [`par_map`] claims items through a shared atomic index (a work-stealing
+//! loop) rather than pre-chunking the input, so uneven per-item costs —
+//! one slow topology in a sweep, say — no longer idle whole threads: a
+//! worker that finishes early simply claims the next unclaimed item.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use by default: the machine's available
+/// parallelism (falling back to 4 when it cannot be queried).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order in the
+/// result.
+///
+/// Items are claimed one at a time through a shared atomic counter, so
+/// workers that draw cheap items keep pulling work while a worker stuck
+/// on an expensive item finishes it — no thread idles while unclaimed
+/// work remains.
+///
+/// # Panics
+///
+/// Panics (propagating the worker's panic message) if `f` panics — an
+/// experiment should fail loudly, not silently drop samples.
+///
+/// # Examples
+///
+/// ```
+/// let squares = pif_par::par_map((0u64..100).collect(), |x| x * x);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 100);
+/// ```
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_workers(items, available_workers(), f)
+}
+
+/// [`par_map`] with an explicit worker count (clamped to at least 1 and
+/// at most the item count).
+pub fn par_map_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+
+    // Each slot is locked exactly twice (once to take the input, once to
+    // store the output), so the mutexes are uncontended; they exist only
+    // to share the slots across workers without `unsafe`.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (inputs, outputs, next, f) = (&inputs, &outputs, &next, &f);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("item claimed twice");
+                    let r = f(item);
+                    *outputs[i].lock().expect("output slot poisoned") = Some(r);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("experiment worker panicked");
+        }
+    });
+
+    outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+/// Spawns `workers` scoped threads running `f(worker_index)` and returns
+/// their results in worker order. The backbone for parallel searches that
+/// manage their own work distribution (e.g. an atomic block counter over
+/// a shared frontier).
+///
+/// With `workers == 1` the closure runs inline on the calling thread —
+/// no spawn overhead, which matters for level-synchronous searches that
+/// would otherwise spawn per frontier level.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_workers<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || f(w))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..1000).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as i32) * 2);
+        }
+    }
+
+    #[test]
+    fn preserves_order_with_uneven_costs() {
+        // Items late in the input are cheap, early ones expensive; the
+        // work-stealing loop must still return results in input order.
+        let out = par_map_workers((0..64u64).collect(), 8, |x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![5], |x: i32| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn explicit_worker_counts() {
+        for workers in [1, 2, 7, 100] {
+            let out = par_map_workers((0..50).collect::<Vec<i32>>(), workers, |x| x - 1);
+            assert_eq!(out.len(), 50);
+            assert_eq!(out[0], -1);
+            assert_eq!(out[49], 48);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = par_map(vec![1, 2, 3], |x: i32| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn run_workers_collects_in_worker_order() {
+        let out = run_workers(4, |w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn run_workers_propagates_panics() {
+        let _ = run_workers(3, |w| {
+            if w == 1 {
+                panic!("boom");
+            }
+            w
+        });
+    }
+}

@@ -12,4 +12,5 @@ pub use pif_core as core;
 pub use pif_daemon as daemon;
 pub use pif_graph as graph;
 pub use pif_netsim as netsim;
+pub use pif_par as par;
 pub use pif_verify as verify;

@@ -4,28 +4,43 @@
 //! ```sh
 //! cargo run --release -p pif-verify --bin verify_exhaustive
 //! ```
+//!
+//! By default the fast instance set runs (everything up to the triangle
+//! as a full product search, chain(4) scans only). `--tier2` adds the
+//! large exhaustive instances gated in CI: chain(4) + ring(4)
+//! correction-bound and chain(4) snap-safety product searches.
+//! `--workers N` overrides the engine (N = 0 selects the sequential
+//! reference engine).
 
 use pif_core::{Features, PifProtocol};
 use pif_graph::{generators, Graph, ProcId};
-use pif_verify::StateSpace;
+use pif_verify::{Checker, StateSpace};
 
-fn verify(name: &str, graph: Graph, root: ProcId, product: bool) {
+struct Opts {
+    checker: Checker,
+    tier2: bool,
+}
+
+fn verify(name: &str, graph: Graph, root: ProcId, product: bool, scans: bool, opts: &Opts) {
     let t0 = std::time::Instant::now();
     let protocol = PifProtocol::new(root, &graph);
     let space = StateSpace::new(graph, protocol);
+    let checker = opts.checker;
     print!("{name:<28} root {root}  configs {:>9}  ", space.config_count());
-    if let Some(cfg) = space.check_no_deadlock() {
-        println!("DEADLOCK FOUND: {cfg:?}");
-        return;
+    if scans {
+        if let Some(cfg) = checker.check_no_deadlock(&space) {
+            println!("DEADLOCK FOUND: {cfg:?}");
+            return;
+        }
+        let p1 = checker.check_universal(&space, pif_core::analysis::property1_holds);
+        assert!(p1.is_none(), "Property 1 violated: {p1:?}");
     }
-    let p1 = space.check_universal(pif_core::analysis::property1_holds);
-    assert!(p1.is_none(), "Property 1 violated: {p1:?}");
     if product {
         // Theorem 1's round bound, exhaustively.
         let bound = 3 * u32::from(space.protocol().l_max()) + 3;
-        let t1 = space.check_correction_bound(bound);
+        let t1 = checker.check_correction_bound(&space, bound);
         assert!(t1.verified(), "Theorem 1 violated: {:#?}", t1.violations);
-        print!("T1<= {bound} rounds OK  ");
+        print!("T1<= {bound} rounds OK ({} states)  ", t1.states_explored);
     }
     if !product {
         println!(
@@ -34,7 +49,7 @@ fn verify(name: &str, graph: Graph, root: ProcId, product: bool) {
         );
         return;
     }
-    let report = space.check_snap_safety(true);
+    let report = checker.check_snap_safety(&space, true);
     println!(
         "states {:>10}  transitions {:>11}  {}  ({:.1}s)",
         report.states_explored,
@@ -45,13 +60,83 @@ fn verify(name: &str, graph: Graph, root: ProcId, product: bool) {
     assert!(report.verified(), "violations: {:#?}", report.violations);
 }
 
+/// Tier-2 large instances: one size class above the default set. Only
+/// the product searches run here (the universal scans already cover
+/// chain(4) in the default set; scans over ring(4)'s 7·10^7
+/// configurations are cheap and included for completeness).
+fn verify_tier2(opts: &Opts) {
+    println!("\ntier-2 exhaustive coverage (one size class up):");
+
+    // chain(4): Theorem 1 bound and full snap-safety product search.
+    {
+        let g = generators::chain(4).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let space = StateSpace::new(g, protocol);
+        let bound = 3 * u32::from(space.protocol().l_max()) + 3;
+        let t0 = std::time::Instant::now();
+        let t1 = opts.checker.check_correction_bound(&space, bound);
+        assert!(t1.verified(), "Theorem 1 violated on chain(4): {:#?}", t1.violations);
+        println!(
+            "chain(4) T1 <= {bound} rounds    states {:>11}  VERIFIED  ({:.1}s)",
+            t1.states_explored,
+            t0.elapsed().as_secs_f64()
+        );
+        let t0 = std::time::Instant::now();
+        let snap = opts.checker.check_snap_safety(&space, true);
+        assert!(snap.verified(), "snap safety violated on chain(4): {:#?}", snap.violations);
+        println!(
+            "chain(4) snap safety        states {:>11}  transitions {:>12}  VERIFIED  ({:.1}s)",
+            snap.states_explored,
+            snap.transitions,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    // ring(4): first tier-2 cyclic instance — exercises the
+    // arbitrary-network (non-tree) B/F-correction paths under the
+    // Theorem 1 bound.
+    {
+        let g = generators::ring(4).unwrap();
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let space = StateSpace::new(g, protocol);
+        let bound = 3 * u32::from(space.protocol().l_max()) + 3;
+        let t0 = std::time::Instant::now();
+        let t1 = opts.checker.check_correction_bound(&space, bound);
+        assert!(t1.verified(), "Theorem 1 violated on ring(4): {:#?}", t1.violations);
+        println!(
+            "ring(4)  T1 <= {bound} rounds   states {:>11}  VERIFIED  ({:.1}s)",
+            t1.states_explored,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}
+
 fn main() {
-    println!("exhaustive snap-stabilization verification (every configuration, every daemon choice)\n");
-    verify("chain(2)", generators::chain(2).unwrap(), ProcId(0), true);
-    verify("chain(3), root end", generators::chain(3).unwrap(), ProcId(0), true);
-    verify("chain(3), root middle", generators::chain(3).unwrap(), ProcId(1), true);
-    verify("triangle = complete(3)", generators::complete(3).unwrap(), ProcId(0), true);
-    verify("chain(4), root end", generators::chain(4).unwrap(), ProcId(0), false);
+    let mut opts = Opts { checker: Checker::auto(), tier2: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tier2" => opts.tier2 = true,
+            "--workers" => {
+                let w: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers requires a number");
+                opts.checker = if w == 0 { Checker::sequential() } else { Checker::with_workers(w) };
+            }
+            other => panic!("unknown argument {other}; expected --tier2 or --workers N"),
+        }
+    }
+    println!(
+        "exhaustive snap-stabilization verification (every configuration, every daemon choice; {} engine, {} worker(s))\n",
+        if opts.checker == Checker::sequential() { "sequential" } else { "parallel" },
+        opts.checker.workers(),
+    );
+    verify("chain(2)", generators::chain(2).unwrap(), ProcId(0), true, true, &opts);
+    verify("chain(3), root end", generators::chain(3).unwrap(), ProcId(0), true, true, &opts);
+    verify("chain(3), root middle", generators::chain(3).unwrap(), ProcId(1), true, true, &opts);
+    verify("triangle = complete(3)", generators::complete(3).unwrap(), ProcId(0), true, true, &opts);
+    verify("chain(4), root end", generators::chain(4).unwrap(), ProcId(0), false, true, &opts);
 
     // Sensitivity: the checker must FIND the bug in the leaf-guard
     // ablation.
@@ -59,12 +144,17 @@ fn main() {
     let ablated = PifProtocol::new(ProcId(0), &g)
         .with_features(Features { leaf_guard: false, ..Features::paper() });
     let space = StateSpace::new(g, ablated);
-    let report = space.check_snap_safety(false);
+    let report = opts.checker.check_snap_safety(&space, false);
     assert!(!report.verified(), "checker failed to find the known ablation bug");
     println!(
-        "\nsensitivity check: leaf-guard ablation on chain(3) -> {} violation(s) found, e.g. processors {:?} never received",
+        "\nsensitivity check: leaf-guard ablation on chain(3) -> {} violation(s) found ({} retained), e.g. processors {:?} never received",
+        report.violation_count,
         report.violations.len(),
         report.violations[0].not_received
     );
+
+    if opts.tier2 {
+        verify_tier2(&opts);
+    }
     println!("\nall instances verified");
 }

@@ -1,0 +1,214 @@
+//! Frontier-level parallel search drivers.
+//!
+//! The exhaustive searches of this crate are breadth-first closures over
+//! a product state space. This module supplies the three parallel shapes
+//! they need, all generic over the item type and the per-worker scratch:
+//!
+//! * [`search`] — level-synchronous BFS: workers claim blocks of the
+//!   current frontier through an atomic index, expand them with private
+//!   scratch, and append newly discovered states to worker-local next
+//!   buffers that become the next frontier. The only shared mutable
+//!   structure is whatever the `expand` closure captures (in practice
+//!   the [`crate::visited::VisitedSet`]).
+//! * [`seed_scan`] — embarrassingly parallel generation over the id
+//!   range `0..total`, used to seed the searches with every (relevant)
+//!   configuration.
+//! * [`find_min_violation`] — embarrassingly parallel predicate scan
+//!   over `0..total` returning the *smallest* violating id, with an
+//!   atomic best-so-far bound that lets workers skip ids that can no
+//!   longer matter. Deterministic: the result is the minimum over all
+//!   violating ids regardless of scheduling.
+//!
+//! With one worker every driver runs inline on the calling thread (no
+//! spawns), so the parallel code path degrades gracefully to a plain
+//! loop on single-core hosts.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Items claimed per atomic fetch when splitting a frontier. Large
+/// enough to amortize the atomic op, small enough to balance uneven
+/// expansion costs.
+const BLOCK: usize = 256;
+
+/// Ids claimed per atomic fetch in the range scans (seeding, universal
+/// predicates). Id-scan work items are much cheaper than frontier
+/// expansions, so blocks are bigger.
+const ID_BLOCK: u64 = 4096;
+
+/// Runs a level-synchronous parallel BFS from `frontier` until the
+/// frontier is empty. One worker per scratch in `scratches`; `expand`
+/// receives a worker's scratch, one frontier item, and the worker-local
+/// buffer into which it pushes the item's *newly discovered* successors
+/// (deduplication against a shared visited set is the closure's job).
+pub fn search<T, S, F>(mut frontier: Vec<T>, scratches: &mut [S], expand: F)
+where
+    T: Send + Sync,
+    S: Send,
+    F: Fn(&mut S, &T, &mut Vec<T>) + Sync,
+{
+    let workers = scratches.len().max(1);
+    let mut next_bufs: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+    while !frontier.is_empty() {
+        if workers == 1 {
+            let (sc, nb) = (&mut scratches[0], &mut next_bufs[0]);
+            for item in &frontier {
+                expand(sc, item, nb);
+            }
+        } else {
+            let counter = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for (sc, nb) in scratches.iter_mut().zip(next_bufs.iter_mut()) {
+                    let (frontier, counter, expand) = (&frontier, &counter, &expand);
+                    scope.spawn(move || loop {
+                        let start = counter.fetch_add(BLOCK, Ordering::Relaxed);
+                        if start >= frontier.len() {
+                            break;
+                        }
+                        let end = (start + BLOCK).min(frontier.len());
+                        for item in &frontier[start..end] {
+                            expand(sc, item, nb);
+                        }
+                    });
+                }
+            });
+        }
+        frontier.clear();
+        for nb in &mut next_bufs {
+            frontier.append(nb);
+        }
+    }
+}
+
+/// Scans ids `0..total` in parallel, one worker per scratch; `generate`
+/// pushes any seed items for an id into the worker-local buffer. Returns
+/// the concatenated seeds (order is unspecified across workers — the
+/// searches consuming them are order-insensitive).
+pub fn seed_scan<T, S, F>(total: u64, scratches: &mut [S], generate: F) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    F: Fn(&mut S, u64, &mut Vec<T>) + Sync,
+{
+    let workers = scratches.len().max(1);
+    let mut bufs: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+    if workers == 1 {
+        for id in 0..total {
+            generate(&mut scratches[0], id, &mut bufs[0]);
+        }
+    } else {
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for (sc, buf) in scratches.iter_mut().zip(bufs.iter_mut()) {
+                let (counter, generate) = (&counter, &generate);
+                scope.spawn(move || loop {
+                    let start = counter.fetch_add(ID_BLOCK, Ordering::Relaxed);
+                    if start >= total {
+                        break;
+                    }
+                    let end = (start + ID_BLOCK).min(total);
+                    for id in start..end {
+                        generate(sc, id, buf);
+                    }
+                });
+            }
+        });
+    }
+    let mut out = Vec::with_capacity(bufs.iter().map(Vec::len).sum());
+    for mut buf in bufs {
+        out.append(&mut buf);
+    }
+    out
+}
+
+/// Evaluates `violates` over ids `0..total` with `workers` threads and
+/// returns the smallest id for which it holds, or `None`.
+///
+/// Each worker gets its own scratch from `init`. A shared atomic holds
+/// the best (smallest) violating id found so far; ids at or above it are
+/// skipped, so the scan short-circuits like a sequential `find` while
+/// still returning the deterministic minimum.
+pub fn find_min_violation<S, I, F>(workers: usize, total: u64, init: I, violates: F) -> Option<u64>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> bool + Sync,
+{
+    let best = AtomicU64::new(u64::MAX);
+    let counter = AtomicU64::new(0);
+    pif_par::run_workers(workers.max(1), |_| {
+        let mut scratch = init();
+        loop {
+            let start = counter.fetch_add(ID_BLOCK, Ordering::Relaxed);
+            // Blocks are claimed in increasing order, so once this
+            // worker's block starts at or beyond the best known
+            // violation, every id it could still claim is irrelevant.
+            if start >= total || start >= best.load(Ordering::Relaxed) {
+                break;
+            }
+            let end = (start + ID_BLOCK).min(total);
+            for id in start..end {
+                if id >= best.load(Ordering::Relaxed) {
+                    break;
+                }
+                if violates(&mut scratch, id) {
+                    best.fetch_min(id, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    });
+    match best.load(Ordering::Relaxed) {
+        u64::MAX => None,
+        id => Some(id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn search_reaches_the_whole_closure() {
+        // Graph on 0..100 with edges i -> i+1, i -> 2i; BFS from 0 must
+        // visit exactly the reachable set, once each, for any worker
+        // count.
+        for workers in [1usize, 4] {
+            let visited = Mutex::new(HashSet::new());
+            let seeds: Vec<u64> = vec![0];
+            visited.lock().unwrap().insert(0u64);
+            let mut scratches = vec![(); workers];
+            search(seeds, &mut scratches, |_, &item, out| {
+                for succ in [item + 1, item * 2] {
+                    if succ < 100 && visited.lock().unwrap().insert(succ) {
+                        out.push(succ);
+                    }
+                }
+            });
+            assert_eq!(visited.lock().unwrap().len(), 100);
+        }
+    }
+
+    #[test]
+    fn seed_scan_covers_the_range() {
+        for workers in [1usize, 3] {
+            let mut scratches = vec![(); workers];
+            let mut seeds = seed_scan(10_000, &mut scratches, |_, id, out| {
+                if id % 3 == 0 {
+                    out.push(id);
+                }
+            });
+            seeds.sort_unstable();
+            assert_eq!(seeds, (0..10_000).filter(|i| i % 3 == 0).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn find_min_violation_is_deterministic() {
+        for workers in [1, 2, 8] {
+            let got = find_min_violation(workers, 1_000_000, || (), |_, id| id % 7777 == 7000);
+            assert_eq!(got, Some(7000));
+        }
+        assert_eq!(find_min_violation(4, 1_000_000, || (), |_, _| false), None);
+    }
+}

@@ -25,6 +25,20 @@
 //! *finds* the violation, which doubles as a sensitivity check of the
 //! checker itself.
 //!
+//! # Execution engines
+//!
+//! Every check runs under a [`Checker`]: [`Checker::sequential`] is the
+//! classic single-threaded FIFO search over a monolithic hash set,
+//! [`Checker::with_workers`] the frontier-level parallel engine (scoped
+//! worker threads over a sharded visited table — see the [`frontier`]
+//! and [`visited`] modules and `DESIGN.md` §11). Both engines share the
+//! same expansion core and produce **bit-identical reports** — same
+//! `states_explored`, same verdicts, same retained violation examples —
+//! because the visited-set closure of a breadth-first search is
+//! independent of expansion order and violations are canonically sorted.
+//! The convenience methods on [`StateSpace`] delegate to
+//! [`Checker::auto`].
+//!
 //! # Examples
 //!
 //! ```
@@ -46,12 +60,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, HashSet, VecDeque};
+pub mod frontier;
+mod memo;
+pub mod visited;
 
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::OnceLock;
+
+use memo::EnabledMemo;
 use pif_core::protocol::{B_ACTION, F_ACTION};
 use pif_core::{Phase, PifProtocol, PifState};
 use pif_daemon::{ActionId, Protocol, View};
 use pif_graph::{Graph, ProcId};
+use visited::VisitedSet;
 
 /// Error raised when an instance is outside what exhaustive checking can
 /// handle, or when a query refers to states outside the register domains.
@@ -97,6 +118,40 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Arithmetic description of one processor's register domain, mirroring
+/// the nested enumeration order of `StateSpace::domain_of`: phase
+/// (outermost) → parent → level → count → fok (innermost). Gives the
+/// search hot loops an O(1) state → domain-index function with no hash
+/// lookups.
+#[derive(Clone, Debug)]
+struct DomainShape {
+    /// Position of each potential parent in the enumeration, by
+    /// processor index; `u8::MAX` marks non-neighbors.
+    par_pos: [u8; StateSpace::MAX_PROCS],
+    par_count: u32,
+    level_count: u32,
+    count_count: u32,
+}
+
+impl DomainShape {
+    #[inline]
+    fn index_of(&self, s: &PifState) -> u32 {
+        let phase = match s.phase {
+            Phase::B => 0u32,
+            Phase::F => 1,
+            Phase::C => 2,
+        };
+        let par = u32::from(self.par_pos[s.par.index()]);
+        debug_assert_ne!(par, u32::from(u8::MAX), "parent {} not in domain", s.par);
+        (((phase * self.par_count + par) * self.level_count + u32::from(s.level) - 1)
+            * self.count_count
+            + s.count
+            - 1)
+            * 2
+            + u32::from(s.fok)
+    }
+}
+
 /// The complete configuration space of one protocol instance on one
 /// (tiny) network.
 #[derive(Clone, Debug)]
@@ -107,9 +162,16 @@ pub struct StateSpace {
     domains: Vec<Vec<PifState>>,
     /// Mixed-radix strides for encoding a configuration as a `u64`.
     strides: Vec<u64>,
-    /// Reverse lookup: per-processor state → domain index.
+    /// Reverse lookup: per-processor state → domain index. Used by the
+    /// fallible [`StateSpace::try_encode`]; the search hot loops use the
+    /// arithmetic [`DomainShape`] instead.
     index: Vec<HashMap<PifState, u32>>,
+    /// Arithmetic state → domain-index functions, one per processor.
+    shapes: Vec<DomainShape>,
     total: u64,
+    /// Lazily built, shared per-configuration guard memo (`None` inside
+    /// once built if the space exceeds the memo budget).
+    memo: OnceLock<Option<EnabledMemo>>,
 }
 
 /// The result of an exhaustive Theorem 1 round-bound search
@@ -120,15 +182,25 @@ pub struct CorrectionBoundReport {
     pub bound: u32,
     /// Product states explored.
     pub states_explored: u64,
-    /// Configurations still abnormal after `bound` completed rounds
-    /// (empty = the theorem's bound is verified on this instance).
+    /// Total number of violating transitions encountered (configurations
+    /// still abnormal after `bound` completed rounds). Zero = the
+    /// theorem's bound is verified on this instance.
+    pub violation_count: u64,
+    /// Retained violating configurations: the (at most)
+    /// [`Self::MAX_RETAINED_VIOLATIONS`] examples with the smallest
+    /// configuration ids, sorted ascending — a canonical, deterministic
+    /// sample of [`Self::violation_count`] total violations.
     pub violations: Vec<Vec<PifState>>,
 }
 
 impl CorrectionBoundReport {
+    /// Maximum number of violating configurations retained as examples;
+    /// [`Self::violation_count`] reports the true total.
+    pub const MAX_RETAINED_VIOLATIONS: usize = 8;
+
     /// Whether the bound held on every path from every configuration.
     pub fn verified(&self) -> bool {
-        self.violations.is_empty()
+        self.violation_count == 0
     }
 }
 
@@ -150,7 +222,13 @@ pub struct SnapSafetyReport {
     pub states_explored: u64,
     /// Transitions taken.
     pub transitions: u64,
-    /// Violations found (empty = verified).
+    /// Total number of wave closures that violated \[PIF1\]/\[PIF2\].
+    /// Zero = verified.
+    pub violation_count: u64,
+    /// Retained violations: the (at most)
+    /// [`Self::MAX_RETAINED_VIOLATIONS`] examples with the smallest
+    /// (configuration, overlay) keys, sorted ascending — a canonical,
+    /// deterministic sample of [`Self::violation_count`] total.
     pub violations: Vec<SnapViolation>,
     /// Whether acknowledgments (\[PIF2\]) were tracked in addition to
     /// deliveries (\[PIF1\]).
@@ -158,13 +236,21 @@ pub struct SnapSafetyReport {
 }
 
 impl SnapSafetyReport {
+    /// Maximum number of violations retained as examples;
+    /// [`Self::violation_count`] reports the true total.
+    pub const MAX_RETAINED_VIOLATIONS: usize = 8;
+
     /// Whether the instance was verified snap-safe.
     pub fn verified(&self) -> bool {
-        self.violations.is_empty()
+        self.violation_count == 0
     }
 }
 
 impl StateSpace {
+    /// Hard processor-count limit (the search overlays are `u16`
+    /// bitmaps).
+    const MAX_PROCS: usize = 16;
+
     /// Builds the state space.
     ///
     /// # Panics
@@ -186,14 +272,16 @@ impl StateSpace {
     /// search overlays are `u16` bitmaps), [`VerifyError::SpaceTooLarge`]
     /// when the configuration count would exceed `2^40`.
     pub fn try_new(graph: Graph, protocol: PifProtocol) -> Result<Self, VerifyError> {
-        const MAX_PROCS: usize = 16;
         const LIMIT_LOG2: u32 = 40;
-        if graph.len() > MAX_PROCS {
-            return Err(VerifyError::NetworkTooLarge { n: graph.len(), max: MAX_PROCS });
+        if graph.len() > Self::MAX_PROCS {
+            return Err(VerifyError::NetworkTooLarge { n: graph.len(), max: Self::MAX_PROCS });
         }
         let mut domains = Vec::with_capacity(graph.len());
+        let mut shapes = Vec::with_capacity(graph.len());
         for p in graph.procs() {
-            domains.push(Self::domain_of(&graph, &protocol, p));
+            let (domain, shape) = Self::domain_of(&graph, &protocol, p);
+            domains.push(domain);
+            shapes.push(shape);
         }
         let mut strides = vec![0u64; graph.len()];
         let mut total = 1u64;
@@ -208,11 +296,21 @@ impl StateSpace {
             .iter()
             .map(|d| d.iter().enumerate().map(|(i, s)| (*s, i as u32)).collect())
             .collect();
-        Ok(StateSpace { graph, protocol, domains, strides, index, total })
+        Ok(StateSpace {
+            graph,
+            protocol,
+            domains,
+            strides,
+            index,
+            shapes,
+            total,
+            memo: OnceLock::new(),
+        })
     }
 
-    /// All in-domain register states of processor `p`.
-    fn domain_of(graph: &Graph, protocol: &PifProtocol, p: ProcId) -> Vec<PifState> {
+    /// All in-domain register states of processor `p`, plus the
+    /// arithmetic shape of that enumeration.
+    fn domain_of(graph: &Graph, protocol: &PifProtocol, p: ProcId) -> (Vec<PifState>, DomainShape) {
         let mut out = Vec::new();
         let is_root = p == protocol.root();
         let pars: Vec<ProcId> = if is_root {
@@ -233,7 +331,17 @@ impl StateSpace {
                 }
             }
         }
-        out
+        let mut par_pos = [u8::MAX; Self::MAX_PROCS];
+        for (k, par) in pars.iter().enumerate() {
+            par_pos[par.index()] = k as u8;
+        }
+        let shape = DomainShape {
+            par_pos,
+            par_count: pars.len() as u32,
+            level_count: levels.len() as u32,
+            count_count: protocol.n_prime(),
+        };
+        (out, shape)
     }
 
     /// Number of distinct configurations.
@@ -270,6 +378,20 @@ impl StateSpace {
         }
     }
 
+    /// Decodes into caller-owned state *and* domain-index buffers; the
+    /// per-processor indices feed the incremental successor encoding in
+    /// the search hot loops.
+    fn decode_indices_into(&self, mut id: u64, out: &mut Vec<PifState>, idxs: &mut Vec<u32>) {
+        out.clear();
+        idxs.clear();
+        for d in &self.domains {
+            let i = (id % d.len() as u64) as usize;
+            id /= d.len() as u64;
+            out.push(d[i]);
+            idxs.push(i as u32);
+        }
+    }
+
     /// Encodes register states into a configuration id.
     ///
     /// # Panics
@@ -298,46 +420,181 @@ impl StateSpace {
         Ok(id)
     }
 
-    /// Enabled actions of every processor in `states`, filled into a
-    /// caller-owned buffer whose inner vectors are reused across calls.
-    fn enabled_into(&self, states: &[PifState], out: &mut Vec<Vec<ActionId>>) {
-        out.resize_with(self.graph.len(), Vec::new);
-        for (i, p) in self.graph.procs().enumerate() {
-            out[i].clear();
-            self.protocol.enabled_actions(View::new(&self.graph, states, p), &mut out[i]);
-        }
+    /// The shared guard memo, built on first use by `workers` threads
+    /// (`None` when the space exceeds the memo budget).
+    fn memo(&self, workers: usize) -> Option<&EnabledMemo> {
+        self.memo
+            .get_or_init(|| {
+                let n = self.graph.len();
+                let mut memo = EnabledMemo::allocate(self.total, n)?;
+                let chunks = memo.fill_chunks();
+                pif_par::par_map_workers(chunks, workers, |(base, masks, abnormal)| {
+                    let mut states: Vec<PifState> = Vec::with_capacity(n);
+                    let mut acts: Vec<ActionId> = Vec::new();
+                    let configs = masks.len() / n;
+                    for j in 0..configs {
+                        let cfg = base + j as u64;
+                        self.decode_into(cfg, &mut states);
+                        let mut any_abnormal = false;
+                        for (i, p) in self.graph.procs().enumerate() {
+                            let view = View::new(&self.graph, &states, p);
+                            acts.clear();
+                            self.protocol.enabled_actions(view, &mut acts);
+                            masks[j * n + i] =
+                                acts.iter().fold(0u8, |m, a| m | 1 << a.index());
+                            any_abnormal |=
+                                !self.protocol.normal(View::new(&self.graph, &states, p));
+                        }
+                        if any_abnormal {
+                            abnormal[j / 64] |= 1 << (j % 64);
+                        }
+                    }
+                });
+                Some(memo)
+            })
+            .as_ref()
     }
 
     /// Evaluates `predicate` over **every** configuration, returning the
-    /// first violating configuration (decoded) if any.
+    /// first violating configuration (decoded) if any. Delegates to
+    /// [`Checker::auto`].
     pub fn check_universal<F>(&self, predicate: F) -> Option<Vec<PifState>>
     where
-        F: Fn(&PifProtocol, &Graph, &[PifState]) -> bool,
+        F: Fn(&PifProtocol, &Graph, &[PifState]) -> bool + Sync,
     {
-        for id in 0..self.total {
-            let states = self.decode(id);
-            if !predicate(&self.protocol, &self.graph, &states) {
-                return Some(states);
-            }
-        }
-        None
+        Checker::auto().check_universal(self, predicate)
     }
 
     /// Verifies that **no** configuration is terminal: in every
     /// configuration some action is enabled, so the PIF scheme can never
     /// seize up. Returns the first deadlocked configuration if one
-    /// exists.
+    /// exists. Delegates to [`Checker::auto`].
     pub fn check_no_deadlock(&self) -> Option<Vec<PifState>> {
-        self.check_universal(|proto, graph, states| {
-            let mut buf = Vec::new();
-            graph.procs().any(|p| {
-                buf.clear();
-                proto.enabled_actions(View::new(graph, states, p), &mut buf);
-                !buf.is_empty()
-            })
-        })
+        Checker::auto().check_no_deadlock(self)
     }
 
+    /// Exhaustively verifies Theorem 1's round bound. Delegates to
+    /// [`Checker::auto`]; see [`Checker::check_correction_bound`].
+    pub fn check_correction_bound(&self, bound: u32) -> CorrectionBoundReport {
+        Checker::auto().check_correction_bound(self, bound)
+    }
+
+    /// Exhaustive snap-safety search over the product of the
+    /// configuration space with the delivery overlay. Delegates to
+    /// [`Checker::auto`]; see [`Checker::check_snap_safety`].
+    pub fn check_snap_safety(&self, track_acks: bool) -> SnapSafetyReport {
+        Checker::auto().check_snap_safety(self, track_acks)
+    }
+}
+
+/// Which execution engine a [`Checker`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Single-threaded FIFO search over a `std` `HashSet` — the
+    /// reference engine the parallel one is differentially tested
+    /// against.
+    Sequential,
+    /// Frontier-level parallel search over a sharded visited table with
+    /// this many workers.
+    Parallel(usize),
+}
+
+/// An execution engine for the exhaustive checks.
+///
+/// Both engines share the same expansion core, guard memo and violation
+/// canonicalization, and produce bit-identical reports; they differ in
+/// how the search itself is driven (see `DESIGN.md` §11):
+///
+/// * [`Checker::sequential`] — classic FIFO breadth-first loop, one
+///   thread, monolithic `HashSet` visited set;
+/// * [`Checker::with_workers`] / [`Checker::parallel`] — level-
+///   synchronous frontier BFS: workers claim frontier blocks through an
+///   atomic index and deduplicate through the sharded
+///   [`visited::VisitedSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Checker {
+    mode: Mode,
+}
+
+impl Checker {
+    /// The single-threaded reference engine.
+    pub fn sequential() -> Self {
+        Checker { mode: Mode::Sequential }
+    }
+
+    /// The parallel engine with one worker per available core.
+    pub fn parallel() -> Self {
+        Checker { mode: Mode::Parallel(pif_par::available_workers()) }
+    }
+
+    /// The parallel engine with an explicit worker count (clamped to at
+    /// least 1). `with_workers(1)` exercises the full parallel machinery
+    /// on a single thread, which is useful for measuring its overhead.
+    pub fn with_workers(workers: usize) -> Self {
+        Checker { mode: Mode::Parallel(workers.max(1)) }
+    }
+
+    /// The default engine: parallel when more than one core is
+    /// available, sequential otherwise.
+    pub fn auto() -> Self {
+        match pif_par::available_workers() {
+            0 | 1 => Self::sequential(),
+            w => Checker { mode: Mode::Parallel(w) },
+        }
+    }
+
+    /// Number of worker threads this checker runs with.
+    pub fn workers(&self) -> usize {
+        match self.mode {
+            Mode::Sequential => 1,
+            Mode::Parallel(w) => w,
+        }
+    }
+
+    /// Evaluates `predicate` over **every** configuration of `space`, in
+    /// parallel over disjoint id ranges, returning the violating
+    /// configuration with the smallest id (decoded) if any — the same
+    /// configuration a sequential scan would report first.
+    pub fn check_universal<F>(&self, space: &StateSpace, predicate: F) -> Option<Vec<PifState>>
+    where
+        F: Fn(&PifProtocol, &Graph, &[PifState]) -> bool + Sync,
+    {
+        let n = space.graph.len();
+        frontier::find_min_violation(
+            self.workers(),
+            space.total,
+            || Vec::with_capacity(n),
+            |states, id| {
+                space.decode_into(id, states);
+                !predicate(&space.protocol, &space.graph, states)
+            },
+        )
+        .map(|id| space.decode(id))
+    }
+
+    /// Verifies that **no** configuration of `space` is terminal,
+    /// scanning id ranges in parallel; returns the deadlocked
+    /// configuration with the smallest id if one exists.
+    pub fn check_no_deadlock(&self, space: &StateSpace) -> Option<Vec<PifState>> {
+        let n = space.graph.len();
+        frontier::find_min_violation(
+            self.workers(),
+            space.total,
+            // Per-worker scratch: decoded states plus one reused
+            // enabled-actions buffer (hoisted out of the per-
+            // configuration closure).
+            || (Vec::with_capacity(n), Vec::<ActionId>::new()),
+            |(states, acts), id| {
+                space.decode_into(id, states);
+                !space.graph.procs().any(|p| {
+                    acts.clear();
+                    space.protocol.enabled_actions(View::new(&space.graph, states, p), acts);
+                    !acts.is_empty()
+                })
+            },
+        )
+        .map(|id| space.decode(id))
+    }
 
     /// Exhaustively verifies Theorem 1's round bound: from **every**
     /// configuration, under **every** daemon choice, all processors are
@@ -349,225 +606,464 @@ impl StateSpace {
     /// matches the theorem's quantification over weakly fair daemons: any
     /// *fair* execution exceeding the bound has a finite prefix that this
     /// search reaches.
-    pub fn check_correction_bound(&self, bound: u32) -> CorrectionBoundReport {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound >= 128` (the packed product encoding reserves 7
+    /// bits for the round counter).
+    pub fn check_correction_bound(&self, space: &StateSpace, bound: u32) -> CorrectionBoundReport {
         assert!(bound < 128, "round bound must fit the packed encoding");
-        let n = self.graph.len();
-        let pack = |cfg: u64, pending: u16, rounds: u32| -> u128 {
-            (u128::from(cfg) << 23) | (u128::from(pending) << 7) | u128::from(rounds)
+        let ctx = SearchCtx { space, memo: space.memo(self.workers()) };
+        let (seen_count, scratches) = match self.mode {
+            Mode::Sequential => ctx.correction_sequential(bound),
+            Mode::Parallel(w) => ctx.correction_parallel(bound, w),
         };
-        let abnormal = |states: &[PifState]| {
-            self.graph
-                .procs()
-                .any(|p| !self.protocol.normal(View::new(&self.graph, states, p)))
-        };
-        let enabled_mask = |enabled: &[Vec<ActionId>]| -> u16 {
-            enabled
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| !a.is_empty())
-                .fold(0u16, |m, (i, _)| m | (1 << i))
-        };
-
-        let mut seen: HashSet<u128> = HashSet::new();
-        let mut queue: VecDeque<(u64, u16, u32)> = VecDeque::new();
-        let mut violations: Vec<Vec<PifState>> = Vec::new();
-        let mut states_explored = 0u64;
-
-        // Scratch reused across the whole search: one decode / enabled
-        // evaluation / successor per iteration, zero steady-state allocs.
-        let mut states: Vec<PifState> = Vec::with_capacity(n);
-        let mut next: Vec<PifState> = Vec::with_capacity(n);
-        let mut enabled: Vec<Vec<ActionId>> = Vec::new();
-        let mut next_enabled_buf: Vec<Vec<ActionId>> = Vec::new();
-        let mut procs: Vec<usize> = Vec::with_capacity(n);
-        let mut option_counts: Vec<usize> = Vec::with_capacity(n);
-        let mut selection: Vec<(usize, ActionId)> = Vec::with_capacity(n);
-
-        for cfg in 0..self.total {
-            self.decode_into(cfg, &mut states);
-            if !abnormal(&states) {
-                continue; // already normal: nothing to verify
-            }
-            self.enabled_into(&states, &mut enabled);
-            let pending = enabled_mask(&enabled);
-            if seen.insert(pack(cfg, pending, 0)) {
-                queue.push_back((cfg, pending, 0));
-            }
-        }
-
-        while let Some((cfg, pending, rounds)) = queue.pop_front() {
-            states_explored += 1;
-            self.decode_into(cfg, &mut states);
-            self.enabled_into(&states, &mut enabled);
-            procs.clear();
-            procs.extend((0..n).filter(|&i| !enabled[i].is_empty()));
-            if procs.is_empty() {
-                continue; // deadlock (reported by check_no_deadlock)
-            }
-            option_counts.clear();
-            option_counts.extend(procs.iter().map(|&i| enabled[i].len() + 1));
-            let combos: usize = option_counts.iter().product();
-            for combo in 1..combos {
-                let mut c = combo;
-                selection.clear();
-                for (k, &i) in procs.iter().enumerate() {
-                    let choice = c % option_counts[k];
-                    c /= option_counts[k];
-                    if choice > 0 {
-                        selection.push((i, enabled[i][choice - 1]));
-                    }
-                }
-                next.clear();
-                next.extend_from_slice(&states);
-                for &(i, a) in &selection {
-                    next[i] = self.protocol.execute(
-                        View::new(&self.graph, &states, ProcId::from_index(i)),
-                        a,
-                    );
-                }
-                if !abnormal(&next) {
-                    continue; // goal reached on this branch
-                }
-                self.enabled_into(&next, &mut next_enabled_buf);
-                let next_enabled = enabled_mask(&next_enabled_buf);
-                // Round accounting: executed and now-disabled processors
-                // leave the pending set.
-                let mut pending2 = pending;
-                for &(i, _) in &selection {
-                    pending2 &= !(1 << i);
-                }
-                pending2 &= next_enabled;
-                let mut rounds2 = rounds;
-                if pending2 == 0 {
-                    rounds2 += 1;
-                    if rounds2 >= bound {
-                        // `bound` rounds completed with abnormal
-                        // processors remaining: Theorem 1 violated here.
-                        if violations.len() < 8 {
-                            violations.push(next.clone());
-                        }
-                        continue;
-                    }
-                    pending2 = next_enabled;
-                }
-                let cfg2 = self.encode(&next);
-                if seen.insert(pack(cfg2, pending2, rounds2)) {
-                    queue.push_back((cfg2, pending2, rounds2));
-                }
-            }
-        }
-
-        CorrectionBoundReport { bound, states_explored, violations }
+        let violation_count = scratches.iter().map(|s| s.violation_count).sum();
+        let violations = merge_retained(
+            scratches.into_iter().flat_map(|s| s.corr_violations),
+            CorrectionBoundReport::MAX_RETAINED_VIOLATIONS,
+        );
+        CorrectionBoundReport { bound, states_explored: seen_count, violation_count, violations }
     }
 
     /// Exhaustive snap-safety search over the product of the
     /// configuration space with the delivery overlay, branching over
     /// every daemon choice. See the crate docs.
-    pub fn check_snap_safety(&self, track_acks: bool) -> SnapSafetyReport {
-        let n = self.graph.len();
-        let root = self.protocol.root();
-        let pack = |cfg: u64, has: u16, ack: u16, active: bool| -> u128 {
-            (u128::from(cfg) << 33)
-                | (u128::from(has) << 17)
-                | (u128::from(ack) << 1)
-                | u128::from(active)
+    pub fn check_snap_safety(&self, space: &StateSpace, track_acks: bool) -> SnapSafetyReport {
+        let ctx = SearchCtx { space, memo: space.memo(self.workers()) };
+        let (seen_count, scratches) = match self.mode {
+            Mode::Sequential => ctx.snap_sequential(track_acks),
+            Mode::Parallel(w) => ctx.snap_parallel(track_acks, w),
         };
-
-        let mut seen: HashSet<u128> = HashSet::new();
-        let mut queue: VecDeque<(u64, u16, u16, bool)> = VecDeque::new();
-        // Every configuration is a legitimate starting point, with an
-        // empty overlay (no wave opened yet).
-        for cfg in 0..self.total {
-            seen.insert(pack(cfg, 0, 0, false));
-            queue.push_back((cfg, 0, 0, false));
+        let transitions = scratches.iter().map(|s| s.transitions).sum();
+        let violation_count = scratches.iter().map(|s| s.violation_count).sum();
+        let violations = merge_retained(
+            scratches.into_iter().flat_map(|s| s.snap_violations),
+            SnapSafetyReport::MAX_RETAINED_VIOLATIONS,
+        );
+        SnapSafetyReport {
+            states_explored: seen_count,
+            transitions,
+            violation_count,
+            violations,
+            acks_tracked: track_acks,
         }
+    }
+}
 
-        let mut transitions = 0u64;
-        let mut violations: Vec<SnapViolation> = Vec::new();
+/// Merges per-worker retained-violation buffers (each already sorted by
+/// key and capped) into the canonical global sample: the `cap` smallest
+/// keys, ascending. Per-worker retention of the `cap` locally smallest
+/// keys suffices to reconstruct the globally smallest `cap` exactly.
+fn merge_retained<K: Ord + Copy, V>(buffers: impl Iterator<Item = (K, V)>, cap: usize) -> Vec<V> {
+    let mut all: Vec<(K, V)> = buffers.collect();
+    all.sort_by_key(|(k, _)| *k);
+    all.truncate(cap);
+    all.into_iter().map(|(_, v)| v).collect()
+}
 
-        // Scratch reused across the whole search (see
-        // `check_correction_bound`).
-        let mut states: Vec<PifState> = Vec::with_capacity(n);
-        let mut next: Vec<PifState> = Vec::with_capacity(n);
-        let mut enabled: Vec<Vec<ActionId>> = Vec::new();
-        let mut procs: Vec<usize> = Vec::with_capacity(n);
-        let mut option_counts: Vec<usize> = Vec::with_capacity(n);
-        let mut selection: Vec<(usize, ActionId)> = Vec::with_capacity(n);
+/// Inserts `(key, make())` into a buffer kept sorted by key and capped
+/// at `cap` entries, retaining the smallest keys. `make` is only called
+/// when the entry is actually admitted, so rejected violations cost no
+/// clone.
+fn retain_smallest<K: Ord + Copy, V>(
+    buf: &mut Vec<(K, V)>,
+    cap: usize,
+    key: K,
+    make: impl FnOnce() -> V,
+) {
+    let pos = buf.partition_point(|(k, _)| *k <= key);
+    if buf.len() < cap {
+        buf.insert(pos, (key, make()));
+    } else if pos < cap {
+        buf.insert(pos, (key, make()));
+        buf.truncate(cap);
+    }
+}
 
-        while let Some((cfg, has, ack, active)) = queue.pop_front() {
-            self.decode_into(cfg, &mut states);
-            self.enabled_into(&states, &mut enabled);
-            procs.clear();
-            procs.extend((0..n).filter(|&i| !enabled[i].is_empty()));
-            if procs.is_empty() {
-                continue; // terminal (reported by check_no_deadlock)
+/// Product-state item of the correction-bound search:
+/// `(configuration, pending round-owing processors, completed rounds)`.
+type CorrItem = (u64, u16, u32);
+/// Product-state item of the snap-safety search:
+/// `(configuration, delivered bitmap, acked bitmap, wave-open flag)`.
+type SnapItem = (u64, u16, u16, bool);
+
+#[inline]
+fn pack_corr(cfg: u64, pending: u16, rounds: u32) -> u128 {
+    (u128::from(cfg) << 23) | (u128::from(pending) << 7) | u128::from(rounds)
+}
+
+#[inline]
+fn pack_snap(cfg: u64, has: u16, ack: u16, active: bool) -> u128 {
+    (u128::from(cfg) << 33) | (u128::from(has) << 17) | (u128::from(ack) << 1) | u128::from(active)
+}
+
+/// Returns the position of the `k`-th (0-based) set bit of `mask`.
+#[inline]
+fn nth_set_bit(mut mask: u8, k: usize) -> usize {
+    for _ in 0..k {
+        mask &= mask - 1;
+    }
+    mask.trailing_zeros() as usize
+}
+
+/// Per-worker scratch: every buffer the expansion core needs, reused
+/// across all expansions so the steady-state search is allocation-free.
+struct Scratch {
+    states: Vec<PifState>,
+    idxs: Vec<u32>,
+    next: Vec<PifState>,
+    masks: Vec<u8>,
+    procs: Vec<usize>,
+    counts: Vec<usize>,
+    selection: Vec<(usize, ActionId)>,
+    acts: Vec<ActionId>,
+    transitions: u64,
+    violation_count: u64,
+    corr_violations: Vec<(u64, Vec<PifState>)>,
+    snap_violations: Vec<(u128, SnapViolation)>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            states: Vec::with_capacity(n),
+            idxs: Vec::with_capacity(n),
+            next: Vec::with_capacity(n),
+            masks: Vec::with_capacity(n),
+            procs: Vec::with_capacity(n),
+            counts: Vec::with_capacity(n),
+            selection: Vec::with_capacity(n),
+            acts: Vec::new(),
+            transitions: 0,
+            violation_count: 0,
+            corr_violations: Vec::new(),
+            snap_violations: Vec::new(),
+        }
+    }
+}
+
+/// Shared, read-only context of one search: the space plus the optional
+/// guard memo.
+struct SearchCtx<'a> {
+    space: &'a StateSpace,
+    memo: Option<&'a EnabledMemo>,
+}
+
+impl SearchCtx<'_> {
+    /// Fills `masks` with the per-processor enabled-action bitmasks of
+    /// configuration `cfg` (whose decoded states are `states`).
+    fn fill_masks(&self, cfg: u64, states: &[PifState], masks: &mut Vec<u8>, acts: &mut Vec<ActionId>) {
+        masks.clear();
+        if let Some(m) = self.memo {
+            masks.extend_from_slice(m.masks_of(cfg));
+            return;
+        }
+        for p in self.space.graph.procs() {
+            acts.clear();
+            self.space.protocol.enabled_actions(View::new(&self.space.graph, states, p), acts);
+            masks.push(acts.iter().fold(0u8, |m, a| m | 1 << a.index()));
+        }
+    }
+
+    /// Whether any processor is abnormal in configuration `cfg` (whose
+    /// decoded states are `states`).
+    fn is_abnormal(&self, cfg: u64, states: &[PifState]) -> bool {
+        if let Some(m) = self.memo {
+            return m.is_abnormal(cfg);
+        }
+        self.space
+            .graph
+            .procs()
+            .any(|p| !self.space.protocol.normal(View::new(&self.space.graph, states, p)))
+    }
+
+    /// Bitmask of processors with an enabled action in configuration
+    /// `cfg` (whose decoded states are `states`).
+    fn pending_mask(&self, cfg: u64, states: &[PifState], acts: &mut Vec<ActionId>) -> u16 {
+        if let Some(m) = self.memo {
+            return m.pending_mask(cfg);
+        }
+        let mut mask = 0u16;
+        for (i, p) in self.space.graph.procs().enumerate() {
+            acts.clear();
+            self.space.protocol.enabled_actions(View::new(&self.space.graph, states, p), acts);
+            if !acts.is_empty() {
+                mask |= 1 << i;
             }
-            // Every daemon choice: each enabled processor independently
-            // skips or executes one of its enabled actions; all-skip is
-            // excluded (combo 0).
-            option_counts.clear();
-            option_counts.extend(procs.iter().map(|&i| enabled[i].len() + 1));
-            let combos: usize = option_counts.iter().product();
-            for combo in 1..combos {
-                let mut c = combo;
-                selection.clear();
-                for (k, &i) in procs.iter().enumerate() {
-                    let choice = c % option_counts[k];
-                    c /= option_counts[k];
-                    if choice > 0 {
-                        selection.push((i, enabled[i][choice - 1]));
-                    }
-                }
-                transitions += 1;
+        }
+        mask
+    }
 
-                // Apply simultaneously against the old configuration.
-                next.clear();
-                next.extend_from_slice(&states);
-                for &(i, a) in &selection {
-                    next[i] = self.protocol.execute(
-                        View::new(&self.graph, &states, ProcId::from_index(i)),
-                        a,
+    /// Expands one product state of the correction-bound search, calling
+    /// `emit(packed_key, successor)` for every successor that stays in
+    /// the search (the caller deduplicates and enqueues). Violations and
+    /// counters accumulate in `sc`.
+    fn expand_correction(
+        &self,
+        sc: &mut Scratch,
+        item: CorrItem,
+        bound: u32,
+        mut emit: impl FnMut(u128, CorrItem),
+    ) {
+        let (cfg, pending, rounds) = item;
+        let space = self.space;
+        let n = space.graph.len();
+        space.decode_indices_into(cfg, &mut sc.states, &mut sc.idxs);
+        let Scratch {
+            states,
+            idxs,
+            next,
+            masks,
+            procs,
+            counts,
+            selection,
+            acts,
+            violation_count,
+            corr_violations,
+            ..
+        } = sc;
+        self.fill_masks(cfg, states, masks, acts);
+        procs.clear();
+        procs.extend((0..n).filter(|&i| masks[i] != 0));
+        if procs.is_empty() {
+            return; // deadlock (reported by check_no_deadlock)
+        }
+        counts.clear();
+        counts.extend(procs.iter().map(|&i| masks[i].count_ones() as usize + 1));
+        let combos: usize = counts.iter().product();
+        for combo in 1..combos {
+            let mut c = combo;
+            selection.clear();
+            for (k, &i) in procs.iter().enumerate() {
+                let choice = c % counts[k];
+                c /= counts[k];
+                if choice > 0 {
+                    selection.push((i, ActionId(nth_set_bit(masks[i], choice - 1))));
+                }
+            }
+            // Apply simultaneously against the old configuration,
+            // encoding the successor incrementally from the changed
+            // processors' domain indices.
+            next.clear();
+            next.extend_from_slice(states);
+            let mut cfg2 = cfg as i64;
+            for &(i, a) in selection.iter() {
+                next[i] = space.protocol.execute(
+                    View::new(&space.graph, states, ProcId::from_index(i)),
+                    a,
+                );
+                let ni = space.shapes[i].index_of(&next[i]);
+                cfg2 += (i64::from(ni) - i64::from(idxs[i])) * space.strides[i] as i64;
+            }
+            let cfg2 = cfg2 as u64;
+            debug_assert_eq!(cfg2, space.encode(next), "incremental encode diverged");
+            if !self.is_abnormal(cfg2, next) {
+                continue; // goal reached on this branch
+            }
+            let next_enabled = self.pending_mask(cfg2, next, acts);
+            // Round accounting: executed and now-disabled processors
+            // leave the pending set.
+            let mut pending2 = pending;
+            for &(i, _) in selection.iter() {
+                pending2 &= !(1 << i);
+            }
+            pending2 &= next_enabled;
+            let mut rounds2 = rounds;
+            if pending2 == 0 {
+                rounds2 += 1;
+                if rounds2 >= bound {
+                    // `bound` rounds completed with abnormal processors
+                    // remaining: Theorem 1 violated here.
+                    *violation_count += 1;
+                    let example = &*next;
+                    retain_smallest(
+                        corr_violations,
+                        CorrectionBoundReport::MAX_RETAINED_VIOLATIONS,
+                        cfg2,
+                        || example.clone(),
                     );
+                    continue;
                 }
+                pending2 = next_enabled;
+            }
+            emit(pack_corr(cfg2, pending2, rounds2), (cfg2, pending2, rounds2));
+        }
+    }
 
-                // Overlay update (same semantics as pif_core::wave).
-                let mut has2 = has;
-                let mut ack2 = ack;
-                let mut active2 = active;
-                if selection.iter().any(|&(i, a)| i == root.index() && a == B_ACTION) {
-                    has2 = 1 << root.index();
-                    ack2 = 0;
-                    active2 = true;
+    /// Generates the correction-bound seed for configuration `cfg`, if
+    /// any: every *abnormal* configuration starts a search path with
+    /// zero completed rounds.
+    fn correction_seed(&self, sc: &mut Scratch, cfg: u64) -> Option<(u128, CorrItem)> {
+        let pending = if let Some(m) = self.memo {
+            if !m.is_abnormal(cfg) {
+                return None;
+            }
+            m.pending_mask(cfg)
+        } else {
+            self.space.decode_into(cfg, &mut sc.states);
+            let Scratch { states, acts, .. } = sc;
+            if !self.is_abnormal(cfg, states) {
+                return None;
+            }
+            self.pending_mask(cfg, states, acts)
+        };
+        Some((pack_corr(cfg, pending, 0), (cfg, pending, 0)))
+    }
+
+    fn correction_sequential(&self, bound: u32) -> (u64, Vec<Scratch>) {
+        let n = self.space.graph.len();
+        let mut sc = Scratch::new(n);
+        let mut seen: HashSet<u128> =
+            HashSet::with_capacity(usize::try_from(self.space.total.min(1 << 22)).unwrap_or(0));
+        let mut queue: VecDeque<CorrItem> = VecDeque::new();
+        for cfg in 0..self.space.total {
+            if let Some((key, item)) = self.correction_seed(&mut sc, cfg) {
+                if seen.insert(key) {
+                    queue.push_back(item);
                 }
-                for &(i, a) in &selection {
-                    if i == root.index() {
-                        continue;
-                    }
-                    match a {
-                        B_ACTION => {
-                            let par = next[i].par.index();
-                            if has2 & (1 << par) != 0 {
-                                has2 |= 1 << i;
-                            } else {
-                                has2 &= !(1 << i);
-                            }
-                            ack2 &= !(1 << i);
+            }
+        }
+        while let Some(item) = queue.pop_front() {
+            self.expand_correction(&mut sc, item, bound, |key, succ| {
+                if seen.insert(key) {
+                    queue.push_back(succ);
+                }
+            });
+        }
+        (seen.len() as u64, vec![sc])
+    }
+
+    fn correction_parallel(&self, bound: u32, workers: usize) -> (u64, Vec<Scratch>) {
+        let n = self.space.graph.len();
+        let mut scratches: Vec<Scratch> = (0..workers).map(|_| Scratch::new(n)).collect();
+        let seen = VisitedSet::with_capacity(usize::try_from(self.space.total).unwrap_or(0));
+        let seeds: Vec<CorrItem> = frontier::seed_scan(self.space.total, &mut scratches, |sc, cfg, out| {
+            if let Some((key, item)) = self.correction_seed(sc, cfg) {
+                if seen.insert(key) {
+                    out.push(item);
+                }
+            }
+        });
+        frontier::search(seeds, &mut scratches, |sc, item, out| {
+            self.expand_correction(sc, *item, bound, |key, succ| {
+                if seen.insert(key) {
+                    out.push(succ);
+                }
+            });
+        });
+        (seen.len() as u64, scratches)
+    }
+
+    /// Expands one product state of the snap-safety search, calling
+    /// `emit(packed_key, successor)` for every successor. Violations and
+    /// counters accumulate in `sc`.
+    fn expand_snap(
+        &self,
+        sc: &mut Scratch,
+        item: SnapItem,
+        track_acks: bool,
+        mut emit: impl FnMut(u128, SnapItem),
+    ) {
+        let (cfg, has, ack, active) = item;
+        let space = self.space;
+        let n = space.graph.len();
+        let root = space.protocol.root();
+        space.decode_indices_into(cfg, &mut sc.states, &mut sc.idxs);
+        let Scratch {
+            states,
+            idxs,
+            next,
+            masks,
+            procs,
+            counts,
+            selection,
+            acts,
+            transitions,
+            violation_count,
+            snap_violations,
+            ..
+        } = sc;
+        self.fill_masks(cfg, states, masks, acts);
+        procs.clear();
+        procs.extend((0..n).filter(|&i| masks[i] != 0));
+        if procs.is_empty() {
+            return; // terminal (reported by check_no_deadlock)
+        }
+        // Every daemon choice: each enabled processor independently
+        // skips or executes one of its enabled actions; all-skip is
+        // excluded (combo 0).
+        counts.clear();
+        counts.extend(procs.iter().map(|&i| masks[i].count_ones() as usize + 1));
+        let combos: usize = counts.iter().product();
+        for combo in 1..combos {
+            let mut c = combo;
+            selection.clear();
+            for (k, &i) in procs.iter().enumerate() {
+                let choice = c % counts[k];
+                c /= counts[k];
+                if choice > 0 {
+                    selection.push((i, ActionId(nth_set_bit(masks[i], choice - 1))));
+                }
+            }
+            *transitions += 1;
+
+            // Apply simultaneously against the old configuration.
+            next.clear();
+            next.extend_from_slice(states);
+            let mut cfg2 = cfg as i64;
+            for &(i, a) in selection.iter() {
+                next[i] = space.protocol.execute(
+                    View::new(&space.graph, states, ProcId::from_index(i)),
+                    a,
+                );
+                let ni = space.shapes[i].index_of(&next[i]);
+                cfg2 += (i64::from(ni) - i64::from(idxs[i])) * space.strides[i] as i64;
+            }
+            let cfg2 = cfg2 as u64;
+            debug_assert_eq!(cfg2, space.encode(next), "incremental encode diverged");
+
+            // Overlay update (same semantics as pif_core::wave).
+            let mut has2 = has;
+            let mut ack2 = ack;
+            let mut active2 = active;
+            if selection.iter().any(|&(i, a)| i == root.index() && a == B_ACTION) {
+                has2 = 1 << root.index();
+                ack2 = 0;
+                active2 = true;
+            }
+            for &(i, a) in selection.iter() {
+                if i == root.index() {
+                    continue;
+                }
+                match a {
+                    B_ACTION => {
+                        let par = next[i].par.index();
+                        if has2 & (1 << par) != 0 {
+                            has2 |= 1 << i;
+                        } else {
+                            has2 &= !(1 << i);
                         }
-                        F_ACTION
-                            if has2 & (1 << i) != 0 => {
-                                ack2 |= 1 << i;
-                            }
-                        _ => {}
+                        ack2 &= !(1 << i);
                     }
+                    F_ACTION if has2 & (1 << i) != 0 => {
+                        ack2 |= 1 << i;
+                    }
+                    _ => {}
                 }
-                if active2
-                    && selection.iter().any(|&(i, a)| i == root.index() && a == F_ACTION)
-                {
-                    let all = (1u16 << n) - 1;
-                    let all_have = has2 == all;
-                    let all_acked = !track_acks || (ack2 | (1 << root.index())) == all;
-                    if !(all_have && all_acked) && violations.len() < 8 {
-                        violations.push(SnapViolation {
+            }
+            if active2 && selection.iter().any(|&(i, a)| i == root.index() && a == F_ACTION) {
+                let all = (1u16 << n) - 1;
+                let all_have = has2 == all;
+                let all_acked = !track_acks || (ack2 | (1 << root.index())) == all;
+                if !(all_have && all_acked) {
+                    *violation_count += 1;
+                    let (states, has2, ack2) = (&*states, has2, ack2);
+                    retain_smallest(
+                        snap_violations,
+                        SnapSafetyReport::MAX_RETAINED_VIOLATIONS,
+                        pack_snap(cfg, has2, ack2, true),
+                        || SnapViolation {
                             configuration: states.clone(),
                             not_received: (0..n)
                                 .filter(|&i| has2 & (1 << i) == 0)
@@ -577,29 +1073,61 @@ impl StateSpace {
                                 .filter(|&i| i != root.index() && ack2 & (1 << i) == 0)
                                 .map(ProcId::from_index)
                                 .collect(),
-                        });
-                    }
-                    active2 = false;
-                    has2 = 0;
-                    ack2 = 0;
+                        },
+                    );
                 }
-
-                let cfg2 = self.encode(&next);
-                if !track_acks {
-                    ack2 = 0;
-                }
-                if seen.insert(pack(cfg2, has2, ack2, active2)) {
-                    queue.push_back((cfg2, has2, ack2, active2));
-                }
+                active2 = false;
+                has2 = 0;
+                ack2 = 0;
             }
-        }
 
-        SnapSafetyReport {
-            states_explored: seen.len() as u64,
-            transitions,
-            violations,
-            acks_tracked: track_acks,
+            if !track_acks {
+                ack2 = 0;
+            }
+            emit(pack_snap(cfg2, has2, ack2, active2), (cfg2, has2, ack2, active2));
         }
+    }
+
+    fn snap_sequential(&self, track_acks: bool) -> (u64, Vec<Scratch>) {
+        let n = self.space.graph.len();
+        let mut sc = Scratch::new(n);
+        let mut seen: HashSet<u128> =
+            HashSet::with_capacity(usize::try_from(self.space.total.min(1 << 22)).unwrap_or(0));
+        let mut queue: VecDeque<SnapItem> = VecDeque::new();
+        // Every configuration is a legitimate starting point, with an
+        // empty overlay (no wave opened yet).
+        for cfg in 0..self.space.total {
+            seen.insert(pack_snap(cfg, 0, 0, false));
+            queue.push_back((cfg, 0, 0, false));
+        }
+        while let Some(item) = queue.pop_front() {
+            self.expand_snap(&mut sc, item, track_acks, |key, succ| {
+                if seen.insert(key) {
+                    queue.push_back(succ);
+                }
+            });
+        }
+        (seen.len() as u64, vec![sc])
+    }
+
+    fn snap_parallel(&self, track_acks: bool, workers: usize) -> (u64, Vec<Scratch>) {
+        let n = self.space.graph.len();
+        let mut scratches: Vec<Scratch> = (0..workers).map(|_| Scratch::new(n)).collect();
+        let seen = VisitedSet::with_capacity(
+            usize::try_from(self.space.total).unwrap_or(0).saturating_mul(2),
+        );
+        let seeds: Vec<SnapItem> = frontier::seed_scan(self.space.total, &mut scratches, |_, cfg, out| {
+            seen.insert(pack_snap(cfg, 0, 0, false));
+            out.push((cfg, 0, 0, false));
+        });
+        frontier::search(seeds, &mut scratches, |sc, item, out| {
+            self.expand_snap(sc, *item, track_acks, |key, succ| {
+                if seen.insert(key) {
+                    out.push(succ);
+                }
+            });
+        });
+        (seen.len() as u64, scratches)
     }
 }
 
@@ -630,6 +1158,24 @@ mod tests {
         for id in [0u64, 1, 17, 999, s.config_count() - 1] {
             let states = s.decode(id);
             assert_eq!(s.encode(&states), id);
+        }
+    }
+
+    #[test]
+    fn domain_shapes_match_the_enumeration() {
+        // The arithmetic state → index function used by the search hot
+        // loops must agree with the enumerated domain on every state of
+        // every processor, including a non-tree instance.
+        for s in [space(3), {
+            let g = generators::complete(3).unwrap();
+            let p = PifProtocol::new(ProcId(0), &g);
+            StateSpace::new(g, p)
+        }] {
+            for (p, domain) in s.domains.iter().enumerate() {
+                for (i, st) in domain.iter().enumerate() {
+                    assert_eq!(s.shapes[p].index_of(st), i as u32, "proc {p} state {st:?}");
+                }
+            }
         }
     }
 
@@ -673,6 +1219,20 @@ mod tests {
     }
 
     #[test]
+    fn universal_scan_returns_the_smallest_witness() {
+        // A predicate failing on known ids must report the smallest one,
+        // for every engine.
+        let s = space(3);
+        let bad = s.decode(12345);
+        for checker in [Checker::sequential(), Checker::with_workers(4)] {
+            let witness = checker.check_universal(&s, |_, _, states| {
+                s.encode(states) < 12345 || s.encode(states) > 20000
+            });
+            assert_eq!(witness.as_deref(), Some(&bad[..]), "{checker:?}");
+        }
+    }
+
+    #[test]
     fn snap_safety_exhaustive_chain2() {
         let s = space(2);
         let report = s.check_snap_safety(true);
@@ -692,6 +1252,7 @@ mod tests {
         let report = s.check_snap_safety(false);
         assert!(!report.verified(), "the ablated protocol must have a reachable violation");
         assert!(!report.violations[0].not_received.is_empty());
+        assert!(report.violation_count >= report.violations.len() as u64);
     }
 
     #[test]
@@ -710,6 +1271,27 @@ mod tests {
         let s = space(2);
         let report = s.check_correction_bound(0);
         assert!(!report.verified(), "a zero-round bound cannot hold");
+    }
+
+    #[test]
+    fn violation_truncation_reports_the_true_count() {
+        // bound 0 violates on (nearly) every branch: the retained sample
+        // must stay capped while the true count keeps counting, and the
+        // sample must be canonically sorted by configuration id.
+        let s = space(2);
+        for checker in [Checker::sequential(), Checker::with_workers(3)] {
+            let report = checker.check_correction_bound(&s, 0);
+            assert!(
+                report.violation_count > CorrectionBoundReport::MAX_RETAINED_VIOLATIONS as u64,
+                "expected a flood of violations, got {}",
+                report.violation_count
+            );
+            assert_eq!(report.violations.len(), CorrectionBoundReport::MAX_RETAINED_VIOLATIONS);
+            let keys: Vec<u64> = report.violations.iter().map(|v| s.encode(v)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "retained examples must be sorted by configuration id");
+        }
     }
 
     #[test]

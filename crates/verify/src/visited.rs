@@ -1,0 +1,191 @@
+//! Sharded visited-set for the parallel state-space searches.
+//!
+//! The searches key product states as packed `u128`s (configuration id
+//! plus the search overlay — delivery bitmaps, round counters). The
+//! visited set is the only structure shared between workers, so it is
+//! sharded: a key hashes to one of [`SHARD_COUNT`] independently locked
+//! open-addressing tables, and workers expanding different shards never
+//! contend. Within a shard, slots are a linear-probed power-of-two array
+//! of raw `u128` keys — no buckets, no per-entry allocation, ~16 bytes
+//! per visited state plus load-factor headroom.
+//!
+//! Determinism: [`VisitedSet::insert`] returns whether the key was newly
+//! inserted, exactly once per key across all workers (the shard lock
+//! serializes insertions of colliding keys). The *set* of visited states
+//! of a breadth-first search closure is independent of insertion order,
+//! which is what makes the parallel searches bit-identical to the
+//! sequential ones — see `DESIGN.md` §11.
+
+use std::sync::Mutex;
+
+/// Number of independently locked shards (a power of two). 64 shards
+/// keep contention negligible up to the thread counts std exposes while
+/// costing only 64 mutexes of overhead.
+pub const SHARD_COUNT: usize = 64;
+
+/// Sentinel marking an empty slot. Packed keys never collide with it:
+/// every search packs a configuration id of < 2^40 below bit 90, so all
+/// real keys are far smaller than `u128::MAX`.
+const EMPTY: u128 = u128::MAX;
+
+/// Growth / initial sizing load factor: grow a shard when it is 3/4 full.
+const LOAD_NUM: usize = 3;
+const LOAD_DEN: usize = 4;
+
+fn hash(key: u128) -> u64 {
+    // Fold the halves, then SplitMix64 finalization — cheap and well
+    // distributed for the dense, low-entropy packed keys the searches
+    // produce.
+    let mut x = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+struct Shard {
+    /// Linear-probed slot array; length is a power of two.
+    slots: Vec<u128>,
+    /// Occupied slot count.
+    items: usize,
+}
+
+impl Shard {
+    fn with_capacity(expected: usize) -> Self {
+        let min_slots = (expected * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(16);
+        Shard { slots: vec![EMPTY; min_slots], items: 0 }
+    }
+
+    /// Inserts `key`; returns `true` if it was not present.
+    fn insert(&mut self, key: u128, h: u64) -> bool {
+        if (self.items + 1) * LOAD_DEN > self.slots.len() * LOAD_NUM {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                self.slots[i] = key;
+                self.items += 1;
+                return true;
+            }
+            if slot == key {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_len]);
+        let mask = new_len - 1;
+        for key in old {
+            if key == EMPTY {
+                continue;
+            }
+            let mut i = (hash(key) as usize) & mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = key;
+        }
+    }
+}
+
+/// A concurrent set of packed `u128` product states.
+///
+/// Sharded open addressing: `insert` takes one shard lock, held only for
+/// the probe. Built for the write-once access pattern of a BFS visited
+/// set — there is no lookup-without-insert and no removal.
+pub struct VisitedSet {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl VisitedSet {
+    /// Creates a set pre-sized for `expected` total keys (spread evenly
+    /// over the shards), so steady-state inserts rarely rehash.
+    pub fn with_capacity(expected: usize) -> Self {
+        let per_shard = expected / SHARD_COUNT;
+        VisitedSet {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::with_capacity(per_shard))).collect(),
+        }
+    }
+
+    /// Inserts `key`, returning `true` exactly once per distinct key
+    /// across all threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u128::MAX` (the empty-slot sentinel) or if a
+    /// shard lock is poisoned by a panicking worker.
+    pub fn insert(&self, key: u128) -> bool {
+        assert_ne!(key, EMPTY, "u128::MAX is reserved as the empty-slot sentinel");
+        let h = hash(key);
+        // Shard on the top bits, probe on the low bits, so the probe
+        // position within a shard is independent of shard selection.
+        let shard = (h >> (64 - SHARD_COUNT.trailing_zeros())) as usize;
+        self.shards[shard].lock().expect("visited shard poisoned").insert(key, h)
+    }
+
+    /// Total number of distinct keys inserted.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("visited shard poisoned").items).sum()
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_novelty_exactly_once() {
+        let set = VisitedSet::with_capacity(0);
+        assert!(set.insert(42));
+        assert!(!set.insert(42));
+        assert!(set.insert(43));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_membership() {
+        let set = VisitedSet::with_capacity(0);
+        // Far more keys than the initial sizing, forcing many rehashes;
+        // adversarially dense keys (sequential ids shifted like the real
+        // pack functions).
+        for k in 0..100_000u128 {
+            assert!(set.insert(k << 23));
+        }
+        for k in 0..100_000u128 {
+            assert!(!set.insert(k << 23));
+        }
+        assert_eq!(set.len(), 100_000);
+    }
+
+    #[test]
+    fn concurrent_inserts_count_each_key_once() {
+        let set = VisitedSet::with_capacity(1 << 12);
+        let winners: usize = pif_par::run_workers(8, |_| {
+            (0..10_000u128).filter(|&k| set.insert(k * 3)).count()
+        })
+        .into_iter()
+        .sum();
+        assert_eq!(winners, 10_000, "each key must be claimed by exactly one worker");
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_key_is_rejected() {
+        VisitedSet::with_capacity(0).insert(u128::MAX);
+    }
+}

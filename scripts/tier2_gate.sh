@@ -19,3 +19,26 @@ trap 'rm -rf "$trace_dir"' EXIT
 ./target/release/pif-trace replay "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
 cmp "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
 ./target/release/pif-trace diff "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
+
+# Verify-throughput smoke: exp_verify_throughput runs the sequential and
+# parallel engines on chain2/chain3/triangle, asserts their reports are
+# identical (it aborts on any divergence) and records states/sec. The
+# emitted JSON must parse and carry the required fields.
+./target/release/exp_verify_throughput > "$trace_dir/verify_throughput.json"
+for field in benchmark unit workers host_parallelism results; do
+    jq -e ".$field" "$trace_dir/verify_throughput.json" > /dev/null
+done
+jq -e '.results | length == 6' "$trace_dir/verify_throughput.json" > /dev/null
+jq -e '[.results[] | select(.verified and .states_explored > 0
+        and .sequential_states_per_sec > 0 and .parN_states_per_sec > 0)]
+       | length == 6' "$trace_dir/verify_throughput.json" > /dev/null
+# The committed benchmark artifact must parse with the same shape.
+jq -e '.benchmark == "verify_throughput" and (.results | length == 6)' \
+    BENCH_verify_throughput.json > /dev/null
+
+# Tier-2 exhaustive coverage (time budget: 45 minutes on the reference
+# single-core container; minutes on a multi-core host). chain(4)
+# correction-bound + snap-safety and ring(4) correction-bound product
+# searches must run to completion with paper-matching verdicts — the
+# binary exits non-zero on any Theorem 1 or snap-safety violation.
+timeout 2700 ./target/release/verify_exhaustive --tier2
