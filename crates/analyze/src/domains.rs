@@ -1,0 +1,199 @@
+//! [`DomainModel`] implementations for the analyzable protocols: the
+//! paper's PIF plus the three baselines.
+//!
+//! Each model enumerates the *reachable-or-corrupted* register domain of
+//! one processor — exactly the domains the paper's proofs quantify over
+//! (any initial configuration assigns registers arbitrary in-domain
+//! values). Value-carrying registers (`val`) are collapsed to `{0, 1}`:
+//! the analyzer only needs to distinguish values to detect reads and
+//! writes, never to cover the payload space.
+
+use pif_baselines::echo::{EchoPhase, EchoProtocol, EchoState};
+use pif_baselines::ss_pif::{SsPhase, SsPifProtocol, SsState};
+use pif_baselines::tree_pif::{TreePhase, TreePifProtocol, TreeState};
+use pif_core::{Phase, PifProtocol, PifState};
+use pif_graph::{Graph, ProcId};
+use pif_verify::StateSpace;
+
+use crate::DomainModel;
+
+impl DomainModel for PifProtocol {
+    fn registers(&self) -> &'static [&'static str] {
+        &["phase", "par", "level", "count", "fok"]
+    }
+
+    fn domain(&self, graph: &Graph, p: ProcId) -> Vec<PifState> {
+        // Reuse the exhaustive checker's per-processor domain enumeration
+        // so the analyzer and the reachability checker agree on what "any
+        // initial configuration" means.
+        let space = StateSpace::try_new(graph.clone(), self.clone())
+            .expect("analysis topology must fit the exhaustive checker");
+        space.proc_domain(p).to_vec()
+    }
+
+    fn project(&self, s: &PifState) -> Vec<u64> {
+        vec![
+            match s.phase {
+                Phase::B => 0,
+                Phase::F => 1,
+                Phase::C => 2,
+            },
+            s.par.index() as u64,
+            u64::from(s.level),
+            u64::from(s.count),
+            u64::from(s.fok),
+        ]
+    }
+
+    fn analysis_root(&self) -> Option<ProcId> {
+        Some(self.root())
+    }
+}
+
+impl DomainModel for EchoProtocol {
+    fn registers(&self) -> &'static [&'static str] {
+        &["phase", "par", "val"]
+    }
+
+    fn domain(&self, graph: &Graph, p: ProcId) -> Vec<EchoState> {
+        let pars: Vec<ProcId> = if graph.neighbor_slice(p).is_empty() {
+            vec![p]
+        } else {
+            graph.neighbor_slice(p).to_vec()
+        };
+        let mut out = Vec::new();
+        for phase in [EchoPhase::B, EchoPhase::F, EchoPhase::C] {
+            for &par in &pars {
+                for val in 0..2u64 {
+                    out.push(EchoState { phase, par, val });
+                }
+            }
+        }
+        out
+    }
+
+    fn project(&self, s: &EchoState) -> Vec<u64> {
+        vec![
+            match s.phase {
+                EchoPhase::B => 0,
+                EchoPhase::F => 1,
+                EchoPhase::C => 2,
+            },
+            s.par.index() as u64,
+            s.val,
+        ]
+    }
+
+    fn analysis_root(&self) -> Option<ProcId> {
+        Some(self.root())
+    }
+}
+
+impl DomainModel for SsPifProtocol {
+    fn registers(&self) -> &'static [&'static str] {
+        &["phase", "par", "dist", "val"]
+    }
+
+    fn domain(&self, graph: &Graph, p: ProcId) -> Vec<SsState> {
+        let root = self.root();
+        // Mirrors `random_config`: the root's parent register is itself
+        // and its distance is pinned to 0; everyone else ranges over all
+        // neighbors and 1..=dist_max.
+        let pars: Vec<ProcId> = if p == root || graph.neighbor_slice(p).is_empty() {
+            vec![p]
+        } else {
+            graph.neighbor_slice(p).to_vec()
+        };
+        let dists: Vec<u16> =
+            if p == root { vec![0] } else { (1..=self.dist_max()).collect() };
+        let mut out = Vec::new();
+        for phase in [SsPhase::B, SsPhase::F, SsPhase::C] {
+            for &par in &pars {
+                for &dist in &dists {
+                    for val in 0..2u64 {
+                        out.push(SsState { phase, par, dist, val });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn project(&self, s: &SsState) -> Vec<u64> {
+        vec![
+            match s.phase {
+                SsPhase::B => 0,
+                SsPhase::F => 1,
+                SsPhase::C => 2,
+            },
+            s.par.index() as u64,
+            u64::from(s.dist),
+            s.val,
+        ]
+    }
+
+    fn analysis_root(&self) -> Option<ProcId> {
+        Some(self.root())
+    }
+}
+
+impl DomainModel for TreePifProtocol {
+    fn registers(&self) -> &'static [&'static str] {
+        &["phase", "val"]
+    }
+
+    fn domain(&self, _graph: &Graph, _p: ProcId) -> Vec<TreeState> {
+        let mut out = Vec::new();
+        for phase in [TreePhase::B, TreePhase::F, TreePhase::C] {
+            for val in 0..2u64 {
+                out.push(TreeState { phase, val });
+            }
+        }
+        out
+    }
+
+    fn project(&self, s: &TreeState) -> Vec<u64> {
+        vec![
+            match s.phase {
+                TreePhase::B => 0,
+                TreePhase::F => 1,
+                TreePhase::C => 2,
+            },
+            s.val,
+        ]
+    }
+
+    fn analysis_root(&self) -> Option<ProcId> {
+        Some(self.root())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_graph::generators;
+
+    #[test]
+    fn projections_are_injective_on_domains() {
+        let g = generators::chain(3).unwrap();
+        let proto = EchoProtocol::new(ProcId(0), 7);
+        for p in g.procs() {
+            let dom = proto.domain(&g, p);
+            let mut seen = std::collections::HashSet::new();
+            for s in &dom {
+                assert!(seen.insert(proto.project(s)), "projection collision at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn ss_root_domain_pins_dist_and_par() {
+        let g = generators::chain(3).unwrap();
+        let proto = SsPifProtocol::new(ProcId(0), 3, 7);
+        for s in proto.domain(&g, ProcId(0)) {
+            assert_eq!(s.dist, 0);
+            assert_eq!(s.par, ProcId(0));
+        }
+        assert!(proto.domain(&g, ProcId(1)).len() > proto.domain(&g, ProcId(0)).len());
+    }
+}

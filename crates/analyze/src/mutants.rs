@@ -1,0 +1,244 @@
+//! Deliberately broken protocol variants used to prove the analyzer's
+//! checks have teeth.
+//!
+//! Each mutant wraps a correct protocol and re-introduces a bug class the
+//! paper's design rules out: a widened guard that destroys priority
+//! determinism ([`WidenedFeedbackPif`] → `AN002`), a declared write to a
+//! neighbor register that escapes the locally shared memory model
+//! ([`NeighborWriteSpecPif`] → `AN001`), and an action spec that hides a
+//! real read dependence ([`UnderReadEcho`] → `AN003`).
+
+use pif_baselines::echo::{EchoProtocol, EchoState, ECHO_B};
+use pif_core::protocol::{COUNT_ACTION, F_ACTION};
+use pif_core::{Phase, PifProtocol, PifState};
+use pif_daemon::{ActionId, ActionSpec, PhaseTag, Protocol, RegAccess, View};
+use pif_graph::{Graph, ProcId};
+
+use crate::DomainModel;
+
+/// A PIF variant whose `F-action` guard drops the paper's `phase = B`
+/// precondition: feedback fires from *any* non-F phase once the `Fok`
+/// flag is up. A clean processor next to a broadcasting root is then
+/// simultaneously `B`- and `F`-enabled — both priority class 1 — so the
+/// prioritized-guard determinism argument (Lemma "at most one wave action
+/// per processor") collapses. The analyzer must flag `AN002`.
+#[derive(Clone, Debug)]
+pub struct WidenedFeedbackPif {
+    inner: PifProtocol,
+}
+
+impl WidenedFeedbackPif {
+    /// Wraps the correct protocol for `graph` rooted at `root`.
+    pub fn new(root: ProcId, graph: &Graph) -> Self {
+        WidenedFeedbackPif { inner: PifProtocol::new(root, graph) }
+    }
+}
+
+impl Protocol for WidenedFeedbackPif {
+    type State = PifState;
+
+    fn action_names(&self) -> &'static [&'static str] {
+        self.inner.action_names()
+    }
+
+    fn enabled_actions(&self, view: View<'_, PifState>, out: &mut Vec<ActionId>) {
+        self.inner.enabled_actions(view, out);
+        out.retain(|&a| a != F_ACTION);
+        let me = view.me();
+        let ready = if view.pid() == self.inner.root() {
+            self.inner.bfree(view)
+        } else {
+            self.inner.bleaf(view)
+        };
+        // The mutation: `me.phase == Phase::B` became `me.phase != Phase::F`.
+        if me.phase != Phase::F && self.inner.normal(view) && me.fok && ready {
+            out.push(F_ACTION);
+        }
+    }
+
+    fn execute(&self, view: View<'_, PifState>, action: ActionId) -> PifState {
+        self.inner.execute(view, action)
+    }
+
+    fn classify(&self, action: ActionId) -> PhaseTag {
+        self.inner.classify(action)
+    }
+
+    fn action_spec(&self, action: ActionId) -> ActionSpec {
+        self.inner.action_spec(action)
+    }
+
+    fn has_action_specs(&self) -> bool {
+        true
+    }
+
+    fn locally_normal(&self, view: View<'_, PifState>) -> bool {
+        self.inner.locally_normal(view)
+    }
+}
+
+impl DomainModel for WidenedFeedbackPif {
+    fn registers(&self) -> &'static [&'static str] {
+        self.inner.registers()
+    }
+
+    fn domain(&self, graph: &Graph, p: ProcId) -> Vec<PifState> {
+        self.inner.domain(graph, p)
+    }
+
+    fn project(&self, s: &PifState) -> Vec<u64> {
+        self.inner.project(s)
+    }
+
+    fn analysis_root(&self) -> Option<ProcId> {
+        self.inner.analysis_root()
+    }
+}
+
+/// A PIF variant whose `Count`-action spec *declares* a write to the
+/// neighbors' `count` registers — the kind of shared-variable shortcut
+/// the locally shared memory model forbids (a processor may read
+/// neighbor registers but write only its own). The behavior is
+/// unchanged (the simulator cannot even express a neighbor write); the
+/// analyzer must reject the declaration statically with `AN001`.
+#[derive(Clone, Debug)]
+pub struct NeighborWriteSpecPif {
+    inner: PifProtocol,
+}
+
+impl NeighborWriteSpecPif {
+    /// Wraps the correct protocol for `graph` rooted at `root`.
+    pub fn new(root: ProcId, graph: &Graph) -> Self {
+        NeighborWriteSpecPif { inner: PifProtocol::new(root, graph) }
+    }
+}
+
+impl Protocol for NeighborWriteSpecPif {
+    type State = PifState;
+
+    fn action_names(&self) -> &'static [&'static str] {
+        self.inner.action_names()
+    }
+
+    fn enabled_actions(&self, view: View<'_, PifState>, out: &mut Vec<ActionId>) {
+        self.inner.enabled_actions(view, out);
+    }
+
+    fn execute(&self, view: View<'_, PifState>, action: ActionId) -> PifState {
+        self.inner.execute(view, action)
+    }
+
+    fn classify(&self, action: ActionId) -> PhaseTag {
+        self.inner.classify(action)
+    }
+
+    fn action_spec(&self, action: ActionId) -> ActionSpec {
+        const WRITES_BAD: &[RegAccess] = &[
+            RegAccess::own("count"),
+            RegAccess::own("fok"),
+            RegAccess::neighbor("count"),
+        ];
+        let spec = self.inner.action_spec(action);
+        if action == COUNT_ACTION {
+            ActionSpec { writes: WRITES_BAD, ..spec }
+        } else {
+            spec
+        }
+    }
+
+    fn has_action_specs(&self) -> bool {
+        true
+    }
+
+    fn locally_normal(&self, view: View<'_, PifState>) -> bool {
+        self.inner.locally_normal(view)
+    }
+}
+
+impl DomainModel for NeighborWriteSpecPif {
+    fn registers(&self) -> &'static [&'static str] {
+        self.inner.registers()
+    }
+
+    fn domain(&self, graph: &Graph, p: ProcId) -> Vec<PifState> {
+        self.inner.domain(graph, p)
+    }
+
+    fn project(&self, s: &PifState) -> Vec<u64> {
+        self.inner.project(s)
+    }
+
+    fn analysis_root(&self) -> Option<ProcId> {
+        self.inner.analysis_root()
+    }
+}
+
+/// An echo variant whose `B-action` spec omits the `neighbor.val` read —
+/// but the statement still copies the broadcasting parent's value
+/// register. The declared read-set under-approximates the observed one,
+/// so the interference graph built from it would silently miss a real
+/// write→read edge. Differential probing must catch it: `AN003`.
+#[derive(Clone, Debug)]
+pub struct UnderReadEcho {
+    inner: EchoProtocol,
+}
+
+impl UnderReadEcho {
+    /// Wraps the correct echo protocol rooted at `root`.
+    pub fn new(root: ProcId, broadcast_val: u64) -> Self {
+        UnderReadEcho { inner: EchoProtocol::new(root, broadcast_val) }
+    }
+}
+
+impl Protocol for UnderReadEcho {
+    type State = EchoState;
+
+    fn action_names(&self) -> &'static [&'static str] {
+        self.inner.action_names()
+    }
+
+    fn enabled_actions(&self, view: View<'_, EchoState>, out: &mut Vec<ActionId>) {
+        self.inner.enabled_actions(view, out);
+    }
+
+    fn execute(&self, view: View<'_, EchoState>, action: ActionId) -> EchoState {
+        self.inner.execute(view, action)
+    }
+
+    fn classify(&self, action: ActionId) -> PhaseTag {
+        self.inner.classify(action)
+    }
+
+    fn action_spec(&self, action: ActionId) -> ActionSpec {
+        const READS_HIDDEN: &[RegAccess] =
+            &[RegAccess::own("phase"), RegAccess::neighbor("phase")];
+        let spec = self.inner.action_spec(action);
+        if action == ECHO_B {
+            ActionSpec { reads: READS_HIDDEN, ..spec }
+        } else {
+            spec
+        }
+    }
+
+    fn has_action_specs(&self) -> bool {
+        true
+    }
+}
+
+impl DomainModel for UnderReadEcho {
+    fn registers(&self) -> &'static [&'static str] {
+        self.inner.registers()
+    }
+
+    fn domain(&self, graph: &Graph, p: ProcId) -> Vec<EchoState> {
+        self.inner.domain(graph, p)
+    }
+
+    fn project(&self, s: &EchoState) -> Vec<u64> {
+        self.inner.project(s)
+    }
+
+    fn analysis_root(&self) -> Option<ProcId> {
+        self.inner.analysis_root()
+    }
+}

@@ -1,0 +1,210 @@
+//! Machine-readable JSON report for analyzer runs.
+//!
+//! The report is hand-rolled on top of `pif_daemon::json` (the same
+//! dependency-free module the trace replayer uses): [`render`] emits the
+//! document and the daemon's [`pif_daemon::json::parse`] reads it back,
+//! which is exactly how the gate script and the round-trip test validate
+//! the shape.
+//!
+//! Top-level shape:
+//!
+//! ```json
+//! {
+//!   "analyzer": "pif-analyze",
+//!   "version": 1,
+//!   "total_diagnostics": 0,
+//!   "runs": [
+//!     {
+//!       "protocol": "pif", "topology": "chain2", "processors": 2,
+//!       "actions": ["B-action", ...],
+//!       "views_checked": 288, "probes": 1930,
+//!       "diagnostics": [
+//!         {"code": "AN002", "title": "...", "action": "...",
+//!          "other_action": "...", "proc": 1,
+//!          "processor_class": "non-root", "register": null,
+//!          "witness": "...", "message": "..."}
+//!       ],
+//!       "interference": {"edges": [
+//!         {"src": "B-action", "dst": "F-action",
+//!          "across_link": true, "registers": ["phase"]}
+//!       ]}
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use pif_daemon::json::write_string;
+
+use crate::{Analysis, Diagnostic, InterferenceEdge};
+
+/// Report format version, bumped on any shape change.
+pub const REPORT_VERSION: u64 = 1;
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    write_string(key, out);
+    out.push(':');
+    write_string(value, out);
+}
+
+fn push_opt_field(out: &mut String, key: &str, value: Option<&str>) {
+    write_string(key, out);
+    out.push(':');
+    match value {
+        Some(v) => write_string(v, out),
+        None => out.push_str("null"),
+    }
+}
+
+fn render_diagnostic(d: &Diagnostic, out: &mut String) {
+    out.push('{');
+    push_str_field(out, "code", d.code.as_str());
+    out.push(',');
+    push_str_field(out, "title", d.code.title());
+    out.push(',');
+    push_str_field(out, "action", &d.action);
+    out.push(',');
+    push_opt_field(out, "other_action", d.other_action.as_deref());
+    out.push(',');
+    let _ = write!(out, "\"proc\":{},", d.proc.index());
+    push_str_field(out, "processor_class", d.processor_class);
+    out.push(',');
+    push_opt_field(out, "register", d.register.as_deref());
+    out.push(',');
+    push_opt_field(out, "witness", d.witness.as_deref());
+    out.push(',');
+    push_str_field(out, "message", &d.message);
+    out.push('}');
+}
+
+fn render_edge(e: &InterferenceEdge, out: &mut String) {
+    out.push('{');
+    push_str_field(out, "src", &e.src);
+    out.push(',');
+    push_str_field(out, "dst", &e.dst);
+    out.push(',');
+    let _ = write!(out, "\"across_link\":{},", e.across_link);
+    out.push_str("\"registers\":[");
+    for (i, r) in e.registers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(r, out);
+    }
+    out.push_str("]}");
+}
+
+fn render_run(a: &Analysis, out: &mut String) {
+    out.push('{');
+    push_str_field(out, "protocol", &a.protocol);
+    out.push(',');
+    push_str_field(out, "topology", &a.topology);
+    out.push(',');
+    let _ = write!(out, "\"processors\":{},", a.processors);
+    out.push_str("\"actions\":[");
+    for (i, name) in a.actions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(name, out);
+    }
+    out.push_str("],");
+    let _ = write!(out, "\"views_checked\":{},\"probes\":{},", a.views_checked, a.probes);
+    out.push_str("\"diagnostics\":[");
+    for (i, d) in a.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_diagnostic(d, out);
+    }
+    out.push_str("],");
+    out.push_str("\"interference\":{\"edges\":[");
+    for (i, e) in a.interference.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_edge(e, out);
+    }
+    out.push_str("]}}");
+}
+
+/// Renders the full report document for a batch of analyses.
+pub fn render(analyses: &[Analysis]) -> String {
+    let total: usize = analyses.iter().map(|a| a.diagnostics.len()).sum();
+    let mut out = String::new();
+    out.push('{');
+    push_str_field(&mut out, "analyzer", "pif-analyze");
+    out.push(',');
+    let _ = write!(out, "\"version\":{REPORT_VERSION},\"total_diagnostics\":{total},");
+    out.push_str("\"runs\":[");
+    for (i, a) in analyses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_run(a, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use pif_core::PifProtocol;
+    use pif_graph::{generators, ProcId};
+
+    #[test]
+    fn report_round_trips_through_daemon_json_parser() {
+        let g = generators::chain(2).unwrap();
+        let proto = PifProtocol::new(ProcId(0), &g);
+        let a = analyze(&proto, &g, "pif", "chain2");
+        let text = render(std::slice::from_ref(&a));
+        let doc = pif_daemon::json::parse(&text).expect("report must be valid JSON");
+        assert_eq!(doc.get("analyzer").and_then(|j| j.as_str()), Some("pif-analyze"));
+        assert_eq!(doc.get("version").and_then(pif_daemon::json::Json::as_u64), Some(REPORT_VERSION));
+        assert_eq!(doc.get("total_diagnostics").and_then(pif_daemon::json::Json::as_u64), Some(0));
+        let runs = doc.get("runs").and_then(|j| j.as_array()).unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.get("protocol").and_then(|j| j.as_str()), Some("pif"));
+        assert_eq!(run.get("processors").and_then(pif_daemon::json::Json::as_u64), Some(2));
+        assert_eq!(
+            run.get("actions").and_then(|j| j.as_array()).map(<[_]>::len),
+            Some(7)
+        );
+        let edges = run
+            .get("interference")
+            .and_then(|j| j.get("edges"))
+            .and_then(|j| j.as_array())
+            .unwrap();
+        assert!(!edges.is_empty());
+        for e in edges {
+            assert!(e.get("src").and_then(|j| j.as_str()).is_some());
+            assert!(e.get("dst").and_then(|j| j.as_str()).is_some());
+            assert!(e.get("across_link").is_some());
+        }
+    }
+
+    #[test]
+    fn witness_strings_are_escaped() {
+        // Witness strings come from Debug formatting and contain quotes
+        // in pathological cases; write_string must keep the document
+        // parseable. Build a synthetic diagnostic to exercise escaping.
+        let mut a = analyze(
+            &PifProtocol::new(ProcId(0), &generators::chain(2).unwrap()),
+            &generators::chain(2).unwrap(),
+            "pif\"quoted",
+            "chain\\2",
+        );
+        a.protocol = "pif\"quoted".to_string();
+        let text = render(std::slice::from_ref(&a));
+        let doc = pif_daemon::json::parse(&text).unwrap();
+        let runs = doc.get("runs").and_then(|j| j.as_array()).unwrap();
+        assert_eq!(
+            runs[0].get("protocol").and_then(|j| j.as_str()),
+            Some("pif\"quoted")
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Negative tests: the analyzer must flag each mutant protocol with the
+//! diagnostic code matching its injected bug class — and with *only*
+//! findings attributable to that bug, so a diagnostic is evidence, not
+//! noise.
+
+use pif_analyze::mutants::{NeighborWriteSpecPif, UnderReadEcho, WidenedFeedbackPif};
+use pif_analyze::{analyze, report, Code};
+use pif_graph::{generators, ProcId};
+
+#[test]
+fn widened_feedback_breaks_priority_determinism() {
+    let g = generators::chain(2).unwrap();
+    let mutant = WidenedFeedbackPif::new(ProcId(0), &g);
+    let a = analyze(&mutant, &g, "pif-widened-feedback", "chain2");
+    let an002: Vec<_> =
+        a.diagnostics.iter().filter(|d| d.code == Code::AN002).collect();
+    assert!(
+        !an002.is_empty(),
+        "widened F-guard must be caught as guard nondeterminism: {:#?}",
+        a.diagnostics
+    );
+    // The witness pair is the broadened F-action against a same-class
+    // (priority 1) wave action.
+    for d in &an002 {
+        let pair = (d.action.as_str(), d.other_action.as_deref());
+        assert!(
+            pair.0 == "F-action" || pair.1 == Some("F-action"),
+            "unexpected AN002 pair: {pair:?}"
+        );
+        assert!(d.witness.is_some(), "AN002 must carry a witness view");
+    }
+    // The mutation widens one guard; it does not misdeclare writes or
+    // reads, so no other code may fire.
+    assert!(
+        a.diagnostics.iter().all(|d| d.code == Code::AN002),
+        "only AN002 expected: {:#?}",
+        a.diagnostics
+    );
+}
+
+#[test]
+fn neighbor_write_spec_violates_write_locality() {
+    let g = generators::chain(2).unwrap();
+    let mutant = NeighborWriteSpecPif::new(ProcId(0), &g);
+    let a = analyze(&mutant, &g, "pif-neighbor-write-spec", "chain2");
+    let an001: Vec<_> =
+        a.diagnostics.iter().filter(|d| d.code == Code::AN001).collect();
+    assert_eq!(an001.len(), 1, "diagnostics: {:#?}", a.diagnostics);
+    let d = an001[0];
+    assert_eq!(d.action, "Count-action");
+    assert_eq!(d.register.as_deref(), Some("neighbor.count"));
+    // The check is static: the mutant's behavior is identical to the
+    // correct protocol, so nothing dynamic may fire.
+    assert!(a.diagnostics.iter().all(|d| d.code == Code::AN001));
+}
+
+#[test]
+fn under_read_echo_is_caught_by_differential_probing() {
+    let g = generators::chain(2).unwrap();
+    let mutant = UnderReadEcho::new(ProcId(0), 7);
+    let a = analyze(&mutant, &g, "echo-under-read", "chain2");
+    let an003: Vec<_> =
+        a.diagnostics.iter().filter(|d| d.code == Code::AN003).collect();
+    assert!(!an003.is_empty(), "diagnostics: {:#?}", a.diagnostics);
+    for d in &an003 {
+        assert_eq!(d.action, "B-action");
+        assert_eq!(
+            d.register.as_deref(),
+            Some("neighbor.val"),
+            "the hidden read is the parent's value register"
+        );
+    }
+    assert!(a.diagnostics.iter().all(|d| d.code == Code::AN003));
+}
+
+#[test]
+fn hidden_read_shrinks_the_declared_interference_graph() {
+    // The point of AN003: an under-declared read-set makes the static
+    // interference graph lose a real write→read edge. Demonstrate the
+    // lost edge so the soundness direction (declared ⊇ observed) is
+    // visibly load-bearing.
+    use pif_analyze::InterferenceGraph;
+    use pif_baselines::echo::EchoProtocol;
+
+    let honest = EchoProtocol::new(ProcId(0), 7);
+    let lying = UnderReadEcho::new(ProcId(0), 7);
+    let regs = ["phase", "par", "val"];
+    let honest_graph = InterferenceGraph::from_protocol(&honest, &regs);
+    let lying_graph = InterferenceGraph::from_protocol(&lying, &regs);
+    let carries_val = |g: &InterferenceGraph| {
+        g.edges.iter().any(|e| {
+            e.src == "B-action"
+                && e.dst == "B-action"
+                && e.across_link
+                && e.registers.iter().any(|r| r == "val")
+        })
+    };
+    assert!(carries_val(&honest_graph));
+    assert!(
+        !carries_val(&lying_graph),
+        "the under-declared spec must lose the val-carrying dependence \
+         (the edge survives only through `phase`)"
+    );
+}
+
+#[test]
+fn mutant_report_carries_codes_and_exit_contract() {
+    // The gate consumes this exact shape: every mutant run must carry at
+    // least one diagnostic, with its code string in the report.
+    let g = generators::chain(2).unwrap();
+    let runs = vec![
+        analyze(
+            &WidenedFeedbackPif::new(ProcId(0), &g),
+            &g,
+            "pif-widened-feedback",
+            "chain2",
+        ),
+        analyze(
+            &NeighborWriteSpecPif::new(ProcId(0), &g),
+            &g,
+            "pif-neighbor-write-spec",
+            "chain2",
+        ),
+        analyze(&UnderReadEcho::new(ProcId(0), 7), &g, "echo-under-read", "chain2"),
+    ];
+    let text = report::render(&runs);
+    let doc = pif_daemon::json::parse(&text).unwrap();
+    assert!(doc.get("total_diagnostics").and_then(pif_daemon::json::Json::as_u64).unwrap() >= 3);
+    let expected = ["AN002", "AN001", "AN003"];
+    let parsed_runs = doc.get("runs").and_then(|j| j.as_array()).unwrap();
+    assert_eq!(parsed_runs.len(), 3);
+    for (run, code) in parsed_runs.iter().zip(expected) {
+        let diags = run.get("diagnostics").and_then(|j| j.as_array()).unwrap();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.get("code").and_then(|j| j.as_str()) == Some(code)),
+            "run {:?} missing {code}",
+            run.get("protocol")
+        );
+    }
+}

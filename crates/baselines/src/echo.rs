@@ -9,7 +9,10 @@
 //! configuration it can deadlock, or complete a wave that skipped the
 //! processors whose registers were pre-set, without ever recovering.
 
-use pif_daemon::{ActionId, Daemon, Protocol, RunLimits, Simulator, View};
+use pif_daemon::{
+    ActionId, ActionSpec, Applicability, Daemon, PhaseTag, Protocol, RegAccess, RunLimits,
+    Simulator, View,
+};
 use pif_graph::{Graph, ProcId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -88,6 +91,12 @@ impl EchoProtocol {
             .collect()
     }
 
+    /// The root processor.
+    #[inline]
+    pub fn root(&self) -> ProcId {
+        self.root
+    }
+
     fn children_all_f(&self, view: View<'_, EchoState>) -> bool {
         view.neighbor_states().all(|(q, s)| {
             q == self.root || s.par != view.pid() || s.phase == EchoPhase::F
@@ -164,6 +173,53 @@ impl Protocol for EchoProtocol {
             other => panic!("unknown echo action {other}"),
         }
         s
+    }
+
+    fn classify(&self, action: ActionId) -> PhaseTag {
+        match action {
+            ECHO_B => PhaseTag::Broadcast,
+            ECHO_F => PhaseTag::Feedback,
+            ECHO_C => PhaseTag::Cleaning,
+            _ => PhaseTag::Other,
+        }
+    }
+
+    fn action_spec(&self, action: ActionId) -> ActionSpec {
+        // All three guards are disjoint on the own phase register, so the
+        // whole protocol is a single priority class. No corrections exist
+        // (echo is not fault-tolerant), so `locally_normal` stays at its
+        // everywhere-true default.
+        const READS_B: &[RegAccess] = &[
+            RegAccess::own("phase"),
+            RegAccess::neighbor("phase"),
+            RegAccess::neighbor("val"),
+        ];
+        const READS_F: &[RegAccess] = &[
+            RegAccess::own("phase"),
+            RegAccess::neighbor("phase"),
+            RegAccess::neighbor("par"),
+        ];
+        const READS_C: &[RegAccess] = &[RegAccess::own("phase"), RegAccess::neighbor("phase")];
+        const WRITES_B: &[RegAccess] =
+            &[RegAccess::own("phase"), RegAccess::own("par"), RegAccess::own("val")];
+        const WRITES_PHASE: &[RegAccess] = &[RegAccess::own("phase")];
+        let (reads, writes) = match action {
+            ECHO_B => (READS_B, WRITES_B),
+            ECHO_F => (READS_F, WRITES_PHASE),
+            ECHO_C => (READS_C, WRITES_PHASE),
+            other => panic!("unknown echo action {other}"),
+        };
+        ActionSpec {
+            phase: self.classify(action),
+            priority: 1,
+            applicability: Applicability::Both,
+            reads,
+            writes,
+        }
+    }
+
+    fn has_action_specs(&self) -> bool {
+        true
     }
 }
 

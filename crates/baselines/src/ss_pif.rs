@@ -13,7 +13,10 @@
 //! paper's Contribution section singles out exactly this drawback; the
 //! delivery-contrast experiment (E5) measures it.
 
-use pif_daemon::{ActionId, Daemon, Protocol, RunLimits, Simulator, View};
+use pif_daemon::{
+    ActionId, ActionSpec, Applicability, Daemon, PhaseTag, Protocol, RegAccess, RunLimits,
+    Simulator, View,
+};
 use pif_graph::{Graph, ProcId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -110,6 +113,18 @@ impl SsPifProtocol {
                 }
             })
             .collect()
+    }
+
+    /// The root processor.
+    #[inline]
+    pub fn root(&self) -> ProcId {
+        self.root
+    }
+
+    /// The upper bound of the `dist` register domain.
+    #[inline]
+    pub fn dist_max(&self) -> u16 {
+        self.dist_max
     }
 
     fn dist_of(&self, q: ProcId, s: &SsState) -> u16 {
@@ -224,6 +239,75 @@ impl Protocol for SsPifProtocol {
             other => panic!("unknown ss-pif action {other}"),
         }
         s
+    }
+
+    fn classify(&self, action: ActionId) -> PhaseTag {
+        match action {
+            SS_B => PhaseTag::Broadcast,
+            SS_F => PhaseTag::Feedback,
+            SS_C => PhaseTag::Cleaning,
+            SS_DIST | SS_RESET => PhaseTag::Correction,
+            _ => PhaseTag::Other,
+        }
+    }
+
+    fn action_spec(&self, action: ActionId) -> ActionSpec {
+        // Every action's guard is gated on the BFS layer (`Dist-action`
+        // preempts the wave layer via an early return), so all wave guards
+        // read own `dist`/`par` and neighbor `dist` in addition to the
+        // phase registers. The two corrections share class 0 (disjoint:
+        // `Dist` requires BFS-inconsistency, `Reset` consistency); B/F/C
+        // share class 1 (disjoint on the own phase).
+        const READS_DIST: &[RegAccess] = &[
+            RegAccess::own("dist"),
+            RegAccess::own("par"),
+            RegAccess::neighbor("dist"),
+        ];
+        const READS_WAVE: &[RegAccess] = &[
+            RegAccess::own("phase"),
+            RegAccess::own("dist"),
+            RegAccess::own("par"),
+            RegAccess::neighbor("phase"),
+            RegAccess::neighbor("par"),
+            RegAccess::neighbor("dist"),
+        ];
+        const READS_B: &[RegAccess] = &[
+            RegAccess::own("phase"),
+            RegAccess::own("dist"),
+            RegAccess::own("par"),
+            RegAccess::neighbor("phase"),
+            RegAccess::neighbor("par"),
+            RegAccess::neighbor("dist"),
+            RegAccess::neighbor("val"),
+        ];
+        const WRITES_B: &[RegAccess] = &[RegAccess::own("phase"), RegAccess::own("val")];
+        const WRITES_PHASE: &[RegAccess] = &[RegAccess::own("phase")];
+        const WRITES_DIST: &[RegAccess] =
+            &[RegAccess::own("dist"), RegAccess::own("par"), RegAccess::own("phase")];
+        let (priority, applicability, reads, writes) = match action {
+            SS_B => (1, Applicability::Both, READS_B, WRITES_B),
+            SS_F => (1, Applicability::Both, READS_WAVE, WRITES_PHASE),
+            SS_C => (1, Applicability::Both, READS_WAVE, WRITES_PHASE),
+            SS_DIST => (0, Applicability::NonRootOnly, READS_DIST, WRITES_DIST),
+            SS_RESET => (0, Applicability::NonRootOnly, READS_WAVE, WRITES_PHASE),
+            other => panic!("unknown ss-pif action {other}"),
+        };
+        ActionSpec { phase: self.classify(action), priority, applicability, reads, writes }
+    }
+
+    fn has_action_specs(&self) -> bool {
+        true
+    }
+
+    fn locally_normal(&self, view: View<'_, SsState>) -> bool {
+        // Normal = neither correction can fire: BFS-consistent, and not a
+        // broadcast stranded over a non-broadcasting parent.
+        if view.pid() == self.root {
+            return true;
+        }
+        self.bfs_consistent(view)
+            && (view.me().phase != SsPhase::B
+                || view.state(view.me().par).phase == SsPhase::B)
     }
 }
 

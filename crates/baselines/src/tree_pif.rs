@@ -11,7 +11,10 @@
 //! and is exactly what does **not** generalize to arbitrary graphs without
 //! the ICDCS 2002 machinery (dynamic parents, levels, counting, `Fok`).
 
-use pif_daemon::{ActionId, Daemon, Protocol, RunLimits, Simulator, View};
+use pif_daemon::{
+    ActionId, ActionSpec, Applicability, Daemon, PhaseTag, Protocol, RegAccess, RunLimits,
+    Simulator, View,
+};
 use pif_graph::{Graph, ProcId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -81,6 +84,12 @@ impl TreePifProtocol {
     /// The static parent of `p` (itself for the root).
     pub fn parent_of(&self, p: ProcId) -> ProcId {
         self.parent[p.index()]
+    }
+
+    /// The root processor.
+    #[inline]
+    pub fn root(&self) -> ProcId {
+        self.root
     }
 
     /// The clean starting configuration.
@@ -172,6 +181,53 @@ impl Protocol for TreePifProtocol {
             other => panic!("unknown tree-pif action {other}"),
         }
         s
+    }
+
+    fn classify(&self, action: ActionId) -> PhaseTag {
+        match action {
+            TREE_B => PhaseTag::Broadcast,
+            TREE_F => PhaseTag::Feedback,
+            TREE_C => PhaseTag::Cleaning,
+            TREE_CORRECT => PhaseTag::Correction,
+            _ => PhaseTag::Other,
+        }
+    }
+
+    fn action_spec(&self, action: ActionId) -> ActionSpec {
+        // The parent/child relation is program text (the static tree), not
+        // a register, so the only registers in play are `phase` and `val`.
+        // B/F/C are disjoint on the own phase; the correction (class 0)
+        // shares phase B with F-action but F's guard requires the parent
+        // to still broadcast while the correction requires it not to.
+        const READS_B: &[RegAccess] = &[
+            RegAccess::own("phase"),
+            RegAccess::neighbor("phase"),
+            RegAccess::neighbor("val"),
+        ];
+        const READS_PHASE: &[RegAccess] =
+            &[RegAccess::own("phase"), RegAccess::neighbor("phase")];
+        const WRITES_B: &[RegAccess] = &[RegAccess::own("phase"), RegAccess::own("val")];
+        const WRITES_PHASE: &[RegAccess] = &[RegAccess::own("phase")];
+        let (priority, applicability, reads, writes) = match action {
+            TREE_B => (1, Applicability::Both, READS_B, WRITES_B),
+            TREE_F => (1, Applicability::Both, READS_PHASE, WRITES_PHASE),
+            TREE_C => (1, Applicability::Both, READS_PHASE, WRITES_PHASE),
+            TREE_CORRECT => (0, Applicability::NonRootOnly, READS_PHASE, WRITES_PHASE),
+            other => panic!("unknown tree-pif action {other}"),
+        };
+        ActionSpec { phase: self.classify(action), priority, applicability, reads, writes }
+    }
+
+    fn has_action_specs(&self) -> bool {
+        true
+    }
+
+    fn locally_normal(&self, view: View<'_, TreeState>) -> bool {
+        // Abnormal exactly when the correction guard's phase pattern holds:
+        // a non-root broadcasts over a parent that no longer does.
+        view.pid() == self.root
+            || view.me().phase != TreePhase::B
+            || view.state(self.parent[view.pid().index()]).phase == TreePhase::B
     }
 }
 

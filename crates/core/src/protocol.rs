@@ -34,7 +34,7 @@
 //!    the clamping is invisible in the model and merely keeps corrupted
 //!    executions finite.
 
-use pif_daemon::{ActionId, PhaseTag, Protocol, View};
+use pif_daemon::{ActionId, ActionSpec, Applicability, PhaseTag, Protocol, RegAccess, View};
 use pif_graph::{Graph, ProcId};
 
 use crate::state::{Phase, PifState};
@@ -65,6 +65,42 @@ const ACTION_NAMES: &[&str] = &[
     "B-correction",
     "F-correction",
 ];
+
+// ----------------------------------------------------------------------
+// Static action metadata (DESIGN.md §12). Guard-priority classes encode
+// which guards are pairwise disjoint by construction:
+//
+//   0  corrections  — require ¬Normal(p); disjoint from each other by the
+//                     Pif_p = B / Pif_p = F split, and from every other
+//                     action (those require Normal(p) or Pif_p = C, and a
+//                     clean processor is always normal);
+//   1  B/F/C wave   — disjoint by Pif_p ∈ {C, B, F} respectively;
+//   2  Fok wave     — may be co-enabled with F-action or Count-action
+//                     (different class, resolved by class order);
+//   3  Count        — may be co-enabled with Fok-action at ¬Fok_p
+//                     processors whose parent just raised Fok.
+//
+// Read-sets: every guard except Broadcast(p) evaluates Normal(p), which
+// reads the full local view, so only B-action gets a narrow declaration.
+// ----------------------------------------------------------------------
+
+const READS_B: &[RegAccess] = &[
+    RegAccess::own("phase"),
+    RegAccess::neighbor("phase"),
+    RegAccess::neighbor("par"),
+    RegAccess::neighbor("level"),
+    RegAccess::neighbor("fok"),
+];
+const WRITES_B: &[RegAccess] = &[
+    RegAccess::own("phase"),
+    RegAccess::own("par"),
+    RegAccess::own("level"),
+    RegAccess::own("count"),
+    RegAccess::own("fok"),
+];
+const WRITES_FOK: &[RegAccess] = &[RegAccess::own("fok")];
+const WRITES_PHASE: &[RegAccess] = &[RegAccess::own("phase")];
+const WRITES_COUNT: &[RegAccess] = &[RegAccess::own("count"), RegAccess::own("fok")];
 
 /// Feature switches for the ablation experiments (E10 in DESIGN.md).
 ///
@@ -585,6 +621,28 @@ impl Protocol for PifProtocol {
             B_CORRECTION | F_CORRECTION => PhaseTag::Correction,
             _ => PhaseTag::Other,
         }
+    }
+
+    fn action_spec(&self, action: ActionId) -> ActionSpec {
+        let (priority, applicability, reads, writes) = match action {
+            B_ACTION => (1, Applicability::Both, READS_B, WRITES_B),
+            FOK_ACTION => (2, Applicability::NonRootOnly, ActionSpec::LOCAL_READS, WRITES_FOK),
+            F_ACTION => (1, Applicability::Both, ActionSpec::LOCAL_READS, WRITES_PHASE),
+            C_ACTION => (1, Applicability::Both, ActionSpec::LOCAL_READS, WRITES_PHASE),
+            COUNT_ACTION => (3, Applicability::Both, ActionSpec::LOCAL_READS, WRITES_COUNT),
+            B_CORRECTION => (0, Applicability::Both, ActionSpec::LOCAL_READS, WRITES_PHASE),
+            F_CORRECTION => (0, Applicability::NonRootOnly, ActionSpec::LOCAL_READS, WRITES_PHASE),
+            other => panic!("unknown action {other} for PIF protocol"),
+        };
+        ActionSpec { phase: self.classify(action), priority, applicability, reads, writes }
+    }
+
+    fn has_action_specs(&self) -> bool {
+        true
+    }
+
+    fn locally_normal(&self, view: View<'_, PifState>) -> bool {
+        self.normal(view)
     }
 }
 

@@ -1,46 +1,58 @@
-//! Minimal hand-rolled JSON support for the trace file format.
+//! Minimal hand-rolled JSON support for the trace file format and the
+//! analyzer's report output.
 //!
 //! The workspace is hermetic (no network, and the vendored `serde` is a
 //! no-op shim), so the trace subsystem carries its own tiny JSON layer: a
 //! string escaper for writing and a recursive-descent parser producing a
 //! [`Json`] value tree. Numbers keep their source lexeme so 64-bit
 //! integers (daemon seeds) survive without `f64` precision loss.
+//! `pif-analyze` reuses this module for its machine-readable reports, so
+//! it is public.
 
 use std::fmt;
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// The `null` literal.
     Null,
+    /// A boolean literal.
     Bool(bool),
     /// The raw number lexeme (re-parsed on demand by [`Json::as_u64`]).
     Num(String),
+    /// A string value (unescaped).
     Str(String),
+    /// An array of values.
     Arr(Vec<Json>),
     /// Key/value pairs in document order.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string payload, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The value as a `u64`, if this is a [`Json::Num`] with an integer
+    /// lexeme in range.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(s) => s.parse().ok(),
             _ => None,
         }
     }
 
-    pub(crate) fn as_usize(&self) -> Option<usize> {
+    /// The value as a `usize` (via [`Json::as_u64`]).
+    pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().and_then(|v| usize::try_from(v).ok())
     }
 
-    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+    /// The items, if this is a [`Json::Arr`].
+    pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -48,7 +60,7 @@ impl Json {
     }
 
     /// Looks up a key in an object (linear scan; objects here are tiny).
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -58,8 +70,10 @@ impl Json {
 
 /// A JSON syntax error with its byte offset in the input.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub(crate) struct JsonError {
+pub struct JsonError {
+    /// Byte offset of the error in the input document.
     pub offset: usize,
+    /// Static description of what was expected or found.
     pub msg: &'static str,
 }
 
@@ -70,7 +84,7 @@ impl fmt::Display for JsonError {
 }
 
 /// Appends `s` to `out` as a quoted, escaped JSON string.
-pub(crate) fn write_string(s: &str, out: &mut String) {
+pub fn write_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -89,7 +103,7 @@ pub(crate) fn write_string(s: &str, out: &mut String) {
 }
 
 /// Parses one complete JSON document (trailing whitespace allowed).
-pub(crate) fn parse(input: &str) -> Result<Json, JsonError> {
+pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
     let value = p.value()?;
     p.skip_ws();

@@ -80,7 +80,7 @@ mod bits;
 pub mod daemons;
 mod error;
 pub mod fairness;
-mod json;
+pub mod json;
 pub mod metrics;
 mod protocol;
 pub mod rounds;
@@ -90,7 +90,10 @@ pub mod trace_io;
 
 pub use error::SimError;
 pub use metrics::{LatencyHistogram, MetricsObserver, PhaseReport};
-pub use protocol::{ActionId, EnabledSet, PhaseTag, Protocol, View};
+pub use protocol::{
+    ActionId, ActionSpec, Applicability, EnabledSet, PhaseTag, Protocol, ReadProbe, RegAccess,
+    Scope, View,
+};
 pub use sim::{
     Fanout, NoOpObserver, Observer, RunLimits, RunStats, SimBuilder, Simulator, StepDelta,
     StepReport, StopPolicy,

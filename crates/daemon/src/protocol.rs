@@ -1,3 +1,4 @@
+use std::cell::Cell;
 use std::fmt;
 
 use pif_graph::{Graph, ProcId};
@@ -94,6 +95,214 @@ impl fmt::Display for PhaseTag {
     }
 }
 
+/// Whose copy of a register an action accesses, in the locally shared
+/// memory model: a processor may read its own registers and its
+/// neighbors', and write **only its own**. [`ActionSpec`] declarations
+/// range over these two scopes; a declared [`Scope::Neighbor`] *write*
+/// is a model violation (`pif-analyze` diagnostic `AN001`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Scope {
+    /// The acting processor's own register.
+    Own,
+    /// A register of some neighbor of the acting processor.
+    Neighbor,
+}
+
+impl Scope {
+    /// Short lowercase name (`"own"` / `"neighbor"`), stable for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Scope::Own => "own",
+            Scope::Neighbor => "neighbor",
+        }
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One register access (a scope plus a register name) in an
+/// [`ActionSpec`] read- or write-set. Register names are
+/// protocol-defined (e.g. `"phase"`, `"par"`, `"count"`); the wildcard
+/// [`ActionSpec::WILDCARD`] matches every register of the scope.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegAccess {
+    /// Whose register.
+    pub scope: Scope,
+    /// Which register (or [`ActionSpec::WILDCARD`]).
+    pub reg: &'static str,
+}
+
+impl RegAccess {
+    /// An access to the acting processor's own register `reg`.
+    pub const fn own(reg: &'static str) -> Self {
+        RegAccess { scope: Scope::Own, reg }
+    }
+
+    /// An access to a neighbor's register `reg`.
+    pub const fn neighbor(reg: &'static str) -> Self {
+        RegAccess { scope: Scope::Neighbor, reg }
+    }
+
+    /// Whether this declaration covers an access to `(scope, reg)`.
+    pub fn covers(&self, scope: Scope, reg: &str) -> bool {
+        self.scope == scope && (self.reg == ActionSpec::WILDCARD || self.reg == reg)
+    }
+}
+
+impl fmt::Display for RegAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.scope, self.reg)
+    }
+}
+
+/// Which processor class an action's guard can hold for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Applicability {
+    /// Root and non-root processors alike.
+    Both,
+    /// Only the root's program (Algorithm 1) contains the action.
+    RootOnly,
+    /// Only non-root programs (Algorithm 2) contain the action.
+    NonRootOnly,
+}
+
+impl Applicability {
+    /// Whether the action may be enabled at a processor of this class.
+    pub const fn covers(self, is_root: bool) -> bool {
+        match self {
+            Applicability::Both => true,
+            Applicability::RootOnly => is_root,
+            Applicability::NonRootOnly => !is_root,
+        }
+    }
+
+    /// Short stable name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Applicability::Both => "both",
+            Applicability::RootOnly => "root-only",
+            Applicability::NonRootOnly => "non-root-only",
+        }
+    }
+}
+
+/// Static metadata one action declares about itself: the structural
+/// facts the paper's correctness argument rests on, made checkable.
+///
+/// * `reads` — every register (own and neighbors') the action's guard
+///   *or* statement may depend on. The contract is **declared ⊇
+///   observed**: `pif-analyze` cross-checks the declaration against an
+///   instrumented view and against differential probing over the
+///   register domains, so an under-declaration is caught, while
+///   over-declaration merely loses precision.
+/// * `writes` — every register the statement may assign. The locally
+///   shared memory model restricts writes to [`Scope::Own`]; declaring a
+///   neighbor write is rejected statically.
+/// * `priority` — the action's guard-priority class. Two actions in the
+///   same class must never be simultaneously enabled at one processor
+///   (their guards are disjoint by construction); simultaneously enabled
+///   actions of *different* classes are resolved by the class order
+///   (smaller = higher priority). This is what "at most one action class
+///   fires per processor" means statically.
+/// * `phase` — the PIF phase the action implements; must agree with
+///   [`Protocol::classify`]. Actions tagged [`PhaseTag::Correction`]
+///   must be disabled in every view satisfying
+///   [`Protocol::locally_normal`] (correction quiescence).
+/// * `applicability` — whether the action belongs to the root's program,
+///   the non-root program, or both.
+#[derive(Clone, Copy, Debug)]
+pub struct ActionSpec {
+    /// The PIF phase this action implements.
+    pub phase: PhaseTag,
+    /// Guard-priority class (smaller = higher priority). Guards within
+    /// one class must be pairwise disjoint.
+    pub priority: u8,
+    /// Which processor class the action applies to.
+    pub applicability: Applicability,
+    /// Declared read-set (own + neighbor registers), guard and statement
+    /// combined. Must over-approximate the observed reads.
+    pub reads: &'static [RegAccess],
+    /// Declared write-set. Must be [`Scope::Own`] only.
+    pub writes: &'static [RegAccess],
+}
+
+impl ActionSpec {
+    /// Register name matching every register of its scope.
+    pub const WILDCARD: &'static str = "*";
+
+    /// The maximally conservative read declaration: everything in the
+    /// local view (own registers plus all neighbors').
+    pub const LOCAL_READS: &'static [RegAccess] =
+        &[RegAccess::own(Self::WILDCARD), RegAccess::neighbor(Self::WILDCARD)];
+
+    /// The maximally conservative *legal* write declaration: all own
+    /// registers (the model forbids more).
+    pub const OWN_WRITES: &'static [RegAccess] = &[RegAccess::own(Self::WILDCARD)];
+
+    /// Whether the declared read-set covers a read of `(scope, reg)`.
+    pub fn reads_reg(&self, scope: Scope, reg: &str) -> bool {
+        self.reads.iter().any(|a| a.covers(scope, reg))
+    }
+
+    /// Whether the declared write-set covers a write of `(scope, reg)`.
+    pub fn writes_reg(&self, scope: Scope, reg: &str) -> bool {
+        self.writes.iter().any(|a| a.covers(scope, reg))
+    }
+}
+
+/// Records which processors' registers a [`View`] actually read, for the
+/// analyzer's spy-view cross-check (declared read-set ⊇ observed reads).
+///
+/// The probe works at *processor* granularity — a set bit means "some
+/// register of that processor was read". Register-granular dependencies
+/// are recovered separately by differential probing over the register
+/// domains; the probe's role is to catch reads of processors outside the
+/// local window (own + neighbors), which no declaration can legalize.
+///
+/// Uses a `u64` bitmask, so spied views are limited to networks of at
+/// most 64 processors — far above anything the small-domain enumeration
+/// visits.
+#[derive(Debug, Default)]
+pub struct ReadProbe {
+    mask: Cell<u64>,
+}
+
+impl ReadProbe {
+    /// Creates an empty probe.
+    pub fn new() -> Self {
+        ReadProbe::default()
+    }
+
+    /// Clears all recorded reads (reuse between evaluations).
+    #[inline]
+    pub fn clear(&self) {
+        self.mask.set(0);
+    }
+
+    /// Marks processor `q` as read.
+    #[inline]
+    pub fn mark(&self, q: ProcId) {
+        debug_assert!(q.index() < 64, "ReadProbe supports at most 64 processors");
+        self.mask.set(self.mask.get() | 1u64 << q.index());
+    }
+
+    /// Whether any register of processor `q` was read.
+    #[inline]
+    pub fn was_read(&self, q: ProcId) -> bool {
+        self.mask.get() & (1u64 << q.index()) != 0
+    }
+
+    /// The raw bitmask of processors read (bit `i` ⇔ processor `i`).
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        self.mask.get()
+    }
+}
+
 /// A guarded-action protocol in the locally shared memory model.
 ///
 /// A protocol is evaluated per processor: given a read-only [`View`] of the
@@ -143,17 +352,67 @@ pub trait Protocol {
         let _ = action;
         PhaseTag::Other
     }
+
+    /// Static metadata for one action: declared read/write sets, priority
+    /// class, phase, and root/non-root applicability. See [`ActionSpec`]
+    /// for the contract the analyzer enforces.
+    ///
+    /// The default is the maximally conservative declaration (reads the
+    /// whole local view, writes all own registers, every action in its own
+    /// priority class, phase from [`Protocol::classify`]) — always sound,
+    /// but too coarse for the interference analysis to say anything
+    /// useful. Protocols opting into static analysis override this *and*
+    /// [`Protocol::has_action_specs`].
+    fn action_spec(&self, action: ActionId) -> ActionSpec {
+        ActionSpec {
+            phase: self.classify(action),
+            priority: action.index().min(u8::MAX as usize) as u8,
+            applicability: Applicability::Both,
+            reads: ActionSpec::LOCAL_READS,
+            writes: ActionSpec::OWN_WRITES,
+        }
+    }
+
+    /// Whether [`Protocol::action_spec`] returns real per-action
+    /// declarations rather than the conservative default. The analyzer
+    /// refuses to certify a protocol that has not opted in.
+    fn has_action_specs(&self) -> bool {
+        false
+    }
+
+    /// Whether the viewed processor is *locally normal*: no correction
+    /// action should be enabled for it. The analyzer checks correction
+    /// quiescence against this predicate — every view satisfying it must
+    /// have all [`PhaseTag::Correction`] actions disabled. The default
+    /// (`true` everywhere) is only appropriate for protocols without
+    /// correction actions.
+    fn locally_normal(&self, view: View<'_, Self::State>) -> bool {
+        let _ = view;
+        true
+    }
 }
 
 /// A processor's read-only window onto a configuration: its own state, its
 /// neighbors' states, and the topology. This is the entire set of registers
 /// the locally-shared-memory model lets a processor read.
-#[derive(Clone, Copy)]
 pub struct View<'a, S> {
     pid: ProcId,
     graph: &'a Graph,
     states: &'a [S],
+    /// When set, every state access is recorded (analyzer spy views only;
+    /// `None` on the simulator/checker hot paths).
+    probe: Option<&'a ReadProbe>,
 }
+
+// Manual impls: a view only holds references, so it is copyable even when
+// `S` itself is not (the derive would demand `S: Copy`).
+impl<S> Clone for View<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S> Copy for View<'_, S> {}
 
 impl<'a, S> View<'a, S> {
     /// Builds a view of processor `pid` over `states`.
@@ -165,7 +424,22 @@ impl<'a, S> View<'a, S> {
     pub fn new(graph: &'a Graph, states: &'a [S], pid: ProcId) -> Self {
         assert_eq!(graph.len(), states.len(), "state vector must match graph size");
         assert!(pid.index() < graph.len(), "processor out of range");
-        View { pid, graph, states }
+        View { pid, graph, states, probe: None }
+    }
+
+    /// Builds a view whose state accesses are recorded in `probe`, for the
+    /// analyzer's observed-read cross-check. Protocol code cannot tell a
+    /// spied view from a plain one.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`View::new`], and additionally
+    /// if the network exceeds the probe's 64-processor capacity.
+    pub fn spied(graph: &'a Graph, states: &'a [S], pid: ProcId, probe: &'a ReadProbe) -> Self {
+        assert!(graph.len() <= 64, "spied views support at most 64 processors");
+        let mut v = View::new(graph, states, pid);
+        v.probe = Some(probe);
+        v
     }
 
     /// The viewed processor's identifier.
@@ -183,6 +457,9 @@ impl<'a, S> View<'a, S> {
     /// The viewed processor's own state.
     #[inline]
     pub fn me(&self) -> &'a S {
+        if let Some(probe) = self.probe {
+            probe.mark(self.pid);
+        }
         &self.states[self.pid.index()]
     }
 
@@ -193,6 +470,9 @@ impl<'a, S> View<'a, S> {
     /// checker code (which is outside the model) may read any processor.
     #[inline]
     pub fn state(&self, q: ProcId) -> &'a S {
+        if let Some(probe) = self.probe {
+            probe.mark(q);
+        }
         &self.states[q.index()]
     }
 
@@ -209,7 +489,13 @@ impl<'a, S> View<'a, S> {
     /// only the underlying configuration, not the view handle.
     pub fn neighbor_states(self) -> impl Iterator<Item = (ProcId, &'a S)> {
         let states = self.states;
-        self.graph.neighbors(self.pid).map(move |q| (q, &states[q.index()]))
+        let probe = self.probe;
+        self.graph.neighbors(self.pid).map(move |q| {
+            if let Some(probe) = probe {
+                probe.mark(q);
+            }
+            (q, &states[q.index()])
+        })
     }
 
     /// Degree of the viewed processor.
@@ -343,5 +629,58 @@ mod tests {
         assert_eq!(PhaseTag::COUNT, 6);
         assert_eq!(PhaseTag::Broadcast.to_string(), "broadcast");
         assert_eq!(PhaseTag::Correction.name(), "correction");
+    }
+
+    #[test]
+    fn reg_access_wildcard_covers_any_register() {
+        const WRITES: &[RegAccess] = &[RegAccess::own("phase")];
+        let spec = ActionSpec {
+            phase: PhaseTag::Broadcast,
+            priority: 1,
+            applicability: Applicability::Both,
+            reads: ActionSpec::LOCAL_READS,
+            writes: WRITES,
+        };
+        assert!(spec.reads_reg(Scope::Own, "phase"));
+        assert!(spec.reads_reg(Scope::Neighbor, "anything"));
+        assert!(spec.writes_reg(Scope::Own, "phase"));
+        assert!(!spec.writes_reg(Scope::Own, "count"));
+        assert!(!spec.writes_reg(Scope::Neighbor, "phase"));
+        assert_eq!(RegAccess::neighbor("par").to_string(), "neighbor.par");
+    }
+
+    #[test]
+    fn applicability_covers_processor_classes() {
+        assert!(Applicability::Both.covers(true) && Applicability::Both.covers(false));
+        assert!(Applicability::RootOnly.covers(true) && !Applicability::RootOnly.covers(false));
+        assert!(!Applicability::NonRootOnly.covers(true));
+        assert!(Applicability::NonRootOnly.covers(false));
+    }
+
+    #[test]
+    fn spied_view_records_reads() {
+        let g = generators::chain(3).unwrap();
+        let states = vec![10, 20, 30];
+        let probe = ReadProbe::new();
+        let v = View::spied(&g, &states, ProcId(1), &probe);
+        assert_eq!(probe.mask(), 0);
+        let _ = v.me();
+        assert!(probe.was_read(ProcId(1)) && !probe.was_read(ProcId(0)));
+        let _: Vec<_> = v.neighbor_states().collect();
+        assert!(probe.was_read(ProcId(0)) && probe.was_read(ProcId(2)));
+        probe.clear();
+        assert_eq!(probe.mask(), 0);
+        let _ = v.state(ProcId(2));
+        assert_eq!(probe.mask(), 1 << 2);
+    }
+
+    #[test]
+    fn plain_view_has_no_probe_overhead_path() {
+        let g = generators::chain(2).unwrap();
+        let states = vec![1, 2];
+        let v = View::new(&g, &states, ProcId(0));
+        // No probe: accessors work and nothing is recorded anywhere.
+        assert_eq!(*v.me(), 1);
+        assert_eq!(*v.state(ProcId(1)), 2);
     }
 }

@@ -15,13 +15,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+/// The concurrency primitives this crate is built on, re-exported so the
+/// concurrency model tests exercise the *production* claim protocol
+/// rather than a copy.
+///
+/// A normal build aliases `std::sync`; building with `--cfg loom` (see
+/// `tests/loom_model.rs` and `scripts/tier2_gate.sh`) swaps in the
+/// loom-instrumented versions, which inject schedule perturbation around
+/// every lock and atomic operation.
+pub mod sync {
+    #[cfg(loom)]
+    pub use loom::sync::{atomic, Arc, Mutex};
+    #[cfg(not(loom))]
+    pub use std::sync::{atomic, Arc, Mutex};
+}
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::Mutex;
 
 /// Number of workers to use by default: the machine's available
 /// parallelism (falling back to 4 when it cannot be queried).
 pub fn available_workers() -> usize {
-    std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4)
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
 }
 
 /// Maps `f` over `items` in parallel, preserving input order in the

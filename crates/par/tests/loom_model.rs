@@ -1,0 +1,93 @@
+//! Concurrency model tests for the work-stealing claim protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (which also swaps
+//! `pif_par::sync` onto the loom-instrumented primitives), so the code
+//! under test here is the *same* claim protocol `par_map` ships: a shared
+//! `AtomicUsize` claim index over `Mutex<Option<T>>` input/output slots.
+//! Run via `scripts/tier2_gate.sh` or:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p pif-par --test loom_model
+//! ```
+
+#![cfg(loom)]
+
+use pif_par::sync::atomic::{AtomicUsize, Ordering};
+use pif_par::sync::{Arc, Mutex};
+
+#[test]
+fn claim_index_hands_each_item_to_exactly_one_thread() {
+    loom::model(|| {
+        const ITEMS: usize = 4;
+        let next = Arc::new(AtomicUsize::new(0));
+        let slots: Arc<Vec<Mutex<Option<usize>>>> =
+            Arc::new((0..ITEMS).map(|i| Mutex::new(Some(i))).collect());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (next, slots) = (Arc::clone(&next), Arc::clone(&slots));
+                loom::thread::spawn(move || {
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= ITEMS {
+                            break;
+                        }
+                        // The protocol's core safety claim: the atomic
+                        // fetch_add makes `i` exclusive, so the take()
+                        // can never observe an already-taken slot.
+                        let item = slots[i]
+                            .lock()
+                            .expect("slot poisoned")
+                            .take()
+                            .expect("item claimed twice");
+                        claimed.push(item);
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("model thread panicked"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn par_map_is_exact_under_model_scheduling() {
+    // End-to-end: the shipped par_map under the instrumented primitives.
+    loom::model(|| {
+        let out = pif_par::par_map_workers((0..8u64).collect(), 3, |x| x * 2);
+        assert_eq!(out, (0..8u64).map(|x| x * 2).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn claim_index_never_double_counts_the_boundary() {
+    // The off-the-end claim (i >= n) must be a clean exit for every
+    // interleaving: total claims == ITEMS even when both threads race
+    // past the boundary simultaneously.
+    loom::model(|| {
+        const ITEMS: usize = 2;
+        let next = Arc::new(AtomicUsize::new(0));
+        let claims = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (next, claims) = (Arc::clone(&next), Arc::clone(&claims));
+                loom::thread::spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ITEMS {
+                        break;
+                    }
+                    claims.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread panicked");
+        }
+        assert_eq!(claims.load(Ordering::Relaxed), ITEMS);
+    });
+}

@@ -359,6 +359,14 @@ impl StateSpace {
         &self.protocol
     }
 
+    /// All in-domain register states of processor `p`, in enumeration
+    /// order. `pif-analyze` iterates these to build its small-domain view
+    /// enumeration, so the analyzer and the exhaustive checker agree on
+    /// what "the domain" is by construction.
+    pub fn proc_domain(&self, p: ProcId) -> &[PifState] {
+        &self.domains[p.index()]
+    }
+
     /// Decodes a configuration id into register states.
     pub fn decode(&self, id: u64) -> Vec<PifState> {
         let mut out = Vec::with_capacity(self.domains.len());

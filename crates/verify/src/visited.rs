@@ -16,7 +16,9 @@
 //! which is what makes the parallel searches bit-identical to the
 //! sequential ones — see `DESIGN.md` §11.
 
-use std::sync::Mutex;
+// Via pif-par's cfg-switched module: std's mutex normally, the
+// loom-instrumented one under `--cfg loom` (see tests/loom_visited.rs).
+use pif_par::sync::Mutex;
 
 /// Number of independently locked shards (a power of two). 64 shards
 /// keep contention negligible up to the thread counts std exposes while

@@ -1,0 +1,62 @@
+//! Concurrency model tests for the sharded visited-set protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`, which also rebuilds
+//! `VisitedSet` itself on the loom-instrumented mutex (via
+//! `pif_par::sync`), so these tests model-check the shipped shard
+//! protocol, not a replica. The property under test is the one the
+//! parallel searches' determinism proof leans on (`DESIGN.md` §11):
+//! `VisitedSet::insert` returns `true` exactly once per distinct key,
+//! across all threads and interleavings.
+
+#![cfg(loom)]
+
+use pif_par::sync::atomic::{AtomicUsize, Ordering};
+use pif_par::sync::Arc;
+use pif_verify::visited::VisitedSet;
+
+#[test]
+fn each_key_wins_exactly_once_across_racing_threads() {
+    loom::model(|| {
+        let set = Arc::new(VisitedSet::with_capacity(0));
+        // Both threads insert the same key set, so every insert races.
+        let keys: Vec<u128> = (0..6u128).map(|k| k << 23).collect();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (set, keys) = (Arc::clone(&set), keys.clone());
+                loom::thread::spawn(move || {
+                    keys.iter().filter(|&&k| set.insert(k)).count()
+                })
+            })
+            .collect();
+        let wins: usize =
+            handles.into_iter().map(|h| h.join().expect("model thread panicked")).sum();
+        assert_eq!(wins, 6, "each key must be claimed by exactly one thread");
+        assert_eq!(set.len(), 6);
+    });
+}
+
+#[test]
+fn shard_growth_is_safe_under_contention() {
+    loom::model(|| {
+        let set = Arc::new(VisitedSet::with_capacity(0));
+        let dups = Arc::new(AtomicUsize::new(0));
+        // Dense keys force rehashes inside the shard lock while the other
+        // thread hammers the same shards.
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let (set, dups) = (Arc::clone(&set), Arc::clone(&dups));
+                loom::thread::spawn(move || {
+                    for k in 0..24u128 {
+                        if !set.insert(k * 7 + 1) && t == 0 {
+                            dups.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread panicked");
+        }
+        assert_eq!(set.len(), 24, "growth must not lose or duplicate keys");
+    });
+}

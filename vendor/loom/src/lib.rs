@@ -1,0 +1,238 @@
+//! Hermetic stand-in for the `loom` concurrency model checker.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the *subset* of the loom 0.7 API its concurrency model tests use:
+//! [`model`], [`thread::spawn`], [`sync::Arc`], [`sync::Mutex`] and the
+//! [`sync::atomic`] wrappers.
+//!
+//! ## What this shim does (and does not) check
+//!
+//! Real loom replaces the synchronization primitives with instrumented
+//! versions and exhaustively enumerates thread interleavings (bounded
+//! DPOR), so a single `loom::model` run proves the absence of races for
+//! the explored preemption bound. This shim cannot do that hermetically;
+//! instead it performs **bounded stochastic schedule exploration**:
+//!
+//! * [`model`] runs the closure [`iterations`] times (default 64,
+//!   overridable via `LOOM_SHIM_ITERS`), so assertion failures in any
+//!   explored schedule still fail the test deterministically loudly;
+//! * the atomic wrappers inject [`std::thread::yield_now`] around every
+//!   operation, perturbing the OS scheduler so distinct interleavings are
+//!   actually visited even on a single core;
+//! * primitives delegate to `std`, so the *same* production code paths
+//!   (the `#[cfg(loom)]` wiring in `pif-par` and `pif-verify`) are
+//!   exercised — swap this shim for registry loom to upgrade the same
+//!   tests to exhaustive exploration.
+//!
+//! Known divergences from upstream loom, accepted for hermeticity:
+//! exploration is probabilistic rather than exhaustive; `std::thread::scope`
+//! (used by `pif_par::run_workers`) is permitted inside [`model`] whereas
+//! real loom requires `loom::thread::spawn`; and the memory model is the
+//! host's (x86-TSO here), so relaxed-ordering bugs that only manifest on
+//! weaker architectures are out of scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of schedules one [`model`] call explores (the shim's analogue
+/// of loom's preemption bound). Reads `LOOM_SHIM_ITERS`, defaulting to
+/// 64.
+pub fn iterations() -> usize {
+    std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Runs `f` once per explored schedule. With real loom this enumerates
+/// interleavings exhaustively; the shim re-runs the closure
+/// [`iterations`] times under scheduler perturbation (see the crate
+/// docs), propagating any panic.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for _ in 0..iterations() {
+        f();
+    }
+}
+
+/// Thread handling inside a model run.
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Spawns a model thread (delegates to [`std::thread::spawn`]).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(f)
+    }
+}
+
+/// Mock synchronization primitives mirroring `std::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, MutexGuard, PoisonError};
+
+    /// A mutex whose lock operations perturb the scheduler, so the
+    /// stochastic exploration visits contended and uncontended
+    /// acquisition orders.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the mutex (yielding first to shake up lock order).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            std::thread::yield_now();
+            self.0.lock()
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    /// Atomic wrappers that inject yields around every operation.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! shim_atomic {
+            ($(#[$doc:meta])* $name:ident, $std:ty, $int:ty) => {
+                $(#[$doc])*
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates the atomic with an initial value.
+                    pub fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Loads the value.
+                    pub fn load(&self, order: Ordering) -> $int {
+                        std::thread::yield_now();
+                        self.0.load(order)
+                    }
+
+                    /// Stores a value.
+                    pub fn store(&self, v: $int, order: Ordering) {
+                        std::thread::yield_now();
+                        self.0.store(v, order);
+                    }
+
+                    /// Adds, returning the previous value.
+                    pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                        std::thread::yield_now();
+                        let prev = self.0.fetch_add(v, order);
+                        std::thread::yield_now();
+                        prev
+                    }
+
+                    /// Bitwise-or, returning the previous value.
+                    pub fn fetch_or(&self, v: $int, order: Ordering) -> $int {
+                        std::thread::yield_now();
+                        self.0.fetch_or(v, order)
+                    }
+
+                    /// Compare-and-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        std::thread::yield_now();
+                        let r = self.0.compare_exchange(current, new, success, failure);
+                        std::thread::yield_now();
+                        r
+                    }
+
+                    /// Consumes the atomic, returning the value.
+                    pub fn into_inner(self) -> $int {
+                        self.0.into_inner()
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(
+            /// Yield-injecting stand-in for [`std::sync::atomic::AtomicUsize`].
+            AtomicUsize,
+            std::sync::atomic::AtomicUsize,
+            usize
+        );
+        shim_atomic!(
+            /// Yield-injecting stand-in for [`std::sync::atomic::AtomicU64`].
+            AtomicU64,
+            std::sync::atomic::AtomicU64,
+            u64
+        );
+        shim_atomic!(
+            /// Yield-injecting stand-in for [`std::sync::atomic::AtomicU32`].
+            AtomicU32,
+            std::sync::atomic::AtomicU32,
+            u32
+        );
+
+        /// Yield-injecting stand-in for [`std::sync::atomic::AtomicBool`].
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates the atomic with an initial value.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> bool {
+                std::thread::yield_now();
+                self.0.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: bool, order: Ordering) {
+                std::thread::yield_now();
+                self.0.store(v, order);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_and_propagates_state() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        super::model(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), super::iterations());
+    }
+
+    #[test]
+    fn mutex_round_trips() {
+        let m = Mutex::new(5);
+        *m.lock().unwrap() += 1;
+        assert_eq!(m.into_inner().unwrap(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule violation")]
+    fn model_propagates_panics() {
+        super::model(|| panic!("schedule violation"));
+    }
+}
