@@ -15,5 +15,6 @@ fn main() {
     e10_ablations::run().emit("e10_ablations");
     e12_severity::run().emit("e12_severity");
     e13_message_passing::run().emit("e13_message_passing");
+    e15_service::run().emit("e15_service");
     println!("full battery completed in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -1,0 +1,6 @@
+//! E15 — wave-service throughput and snap under load.
+use pif_bench::experiments::e15_service;
+
+fn main() {
+    e15_service::run().emit("e15_service");
+}

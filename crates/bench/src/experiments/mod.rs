@@ -15,3 +15,4 @@ pub mod e9_space;
 pub mod e10_ablations;
 pub mod e12_severity;
 pub mod e13_message_passing;
+pub mod e15_service;

@@ -231,6 +231,20 @@ impl<M: Clone + PartialEq + fmt::Debug, A: Aggregate> WaveOverlay<M, A> {
         self.delivered_step[p.index()].is_some()
     }
 
+    /// Step (in observed steps) at which `p` copied the message during the
+    /// current wave, if it has. The basis for per-phase service latency:
+    /// the broadcast phase of a wave spans from [`WaveOverlay::broadcast_step`]
+    /// to the maximum delivery step.
+    pub fn delivered_step(&self, p: ProcId) -> Option<u64> {
+        self.delivered_step[p.index()]
+    }
+
+    /// Steps observed by this overlay so far (equals the simulator's step
+    /// count when the overlay has observed every step since construction).
+    pub fn observed_steps(&self) -> u64 {
+        self.steps
+    }
+
     /// Whether every processor's message register holds `m`.
     pub fn all_received(&self, m: &M) -> bool {
         self.msg.iter().all(|v| v.as_ref() == Some(m))

@@ -1,0 +1,162 @@
+//! # pif-serve — a long-lived PIF wave service
+//!
+//! Definition 2 of the paper is a request/response contract: the root
+//! broadcasts a message `m`, every processor receives it (\[PIF1\]), and
+//! the root collects an acknowledgment from every processor (\[PIF2\]).
+//! Snap-stabilization (Definition 1) extends that contract to *streams* of
+//! requests under corruption: every cycle **initiated after** a transient
+//! fault is correct, with zero stabilization time. This crate turns the
+//! one-shot wave machinery of `pif-core` into exactly that serving layer:
+//!
+//! * [`WaveService`] accepts a stream of broadcast requests (payload +
+//!   initiator + aggregate kind) and multiplexes them over per-initiator
+//!   PIF instances — one register set per initiator, as in
+//!   [`pif_core::multi::MultiInitiator`], each instance carrying a
+//!   [`pif_core::wave::WaveOverlay`];
+//! * back-to-back cycles are **pipelined through the cleaning phase**: the
+//!   next request is armed the moment the root's `F-action` closes the
+//!   previous cycle, so the root re-broadcasts as soon as its *own*
+//!   cleaning is done, while distant processors may still be cleaning —
+//!   the protocol is built for exactly this overlap, and no per-request
+//!   state reconstruction ever happens;
+//! * initiators are deterministically assigned to **shards** (ordered by
+//!   a seeded splitmix key, dealt round-robin so the load stays
+//!   balanced), each shard owning a full topology replica and running
+//!   on its own worker thread via [`pif_par`]; shards share nothing, so
+//!   the served outcomes are bit-identical regardless of how the OS
+//!   schedules the workers;
+//! * per-initiator request queues are **bounded**, with an explicit
+//!   [`ShedPolicy`] and typed [`ServeError`]s for overload;
+//! * every request is scored in a [`ledger::DeliveryLedger`] that records
+//!   the \[PIF1\]/\[PIF2\] verdicts per request, and **fault hooks** run
+//!   register-corruption campaigns mid-flight
+//!   ([`pif_daemon::Simulator::corrupt_many`]) so the ledger can assert
+//!   the operational snap-stabilization claim: every request initiated
+//!   after the fault completes correctly, while requests in flight *at*
+//!   the fault are counted separately as casualties.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pif_serve::{AggregateKind, Request, ServeConfig, WaveService};
+//! use pif_graph::{ProcId, Topology};
+//!
+//! # fn main() -> Result<(), pif_serve::ServeError> {
+//! let config = ServeConfig::new(Topology::Torus { w: 3, h: 3 })
+//!     .initiators(vec![ProcId(0), ProcId(4)])
+//!     .shards(2)
+//!     .seed(7);
+//! let mut service = WaveService::new(config)?;
+//! for i in 0..10u64 {
+//!     let to = ProcId(if i % 2 == 0 { 0 } else { 4 });
+//!     service.submit(Request::new(to, i, AggregateKind::Ack))?;
+//! }
+//! service.run()?;
+//! let summary = service.ledger().summary();
+//! assert_eq!(summary.completed_ok, 10);
+//! assert!(summary.is_clean());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use pif_daemon::SimError;
+use pif_graph::{GraphError, ProcId};
+
+pub mod ledger;
+mod lane;
+pub mod report;
+pub mod request;
+pub mod service;
+mod shard;
+
+pub use ledger::{DeliveryLedger, LedgerSummary, RequestOutcome, RequestRecord};
+pub use report::ServiceReport;
+pub use request::{AggregateKind, KindAggregate, Request, RequestId};
+pub use service::{
+    run_scenario, spread_initiators, FaultSpec, Scenario, ServeConfig, ServeDaemon, ShedPolicy,
+    WaveService,
+};
+
+/// Errors of the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configuration listed no initiators.
+    NoInitiators,
+    /// An initiator appeared twice in the configuration.
+    DuplicateInitiator {
+        /// The repeated initiator.
+        initiator: ProcId,
+    },
+    /// A request named a processor that is not a configured initiator.
+    UnknownInitiator {
+        /// The unconfigured processor.
+        initiator: ProcId,
+    },
+    /// A submission hit a full per-initiator queue under
+    /// [`ShedPolicy::Reject`] — the caller's backpressure signal.
+    QueueFull {
+        /// The overloaded initiator.
+        initiator: ProcId,
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The configured topology failed to build.
+    Graph(GraphError),
+    /// A simulator error surfaced from a shard worker.
+    Sim(SimError),
+    /// The operational snap-stabilization claim failed: a request whose
+    /// wave was initiated after the last fault did not complete correctly.
+    SnapViolation {
+        /// The offending request.
+        request: RequestId,
+        /// Its initiator.
+        initiator: ProcId,
+    },
+    /// A service benchmark report failed to parse or replay (CLI `check`).
+    Report(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoInitiators => write!(f, "at least one initiator is required"),
+            ServeError::DuplicateInitiator { initiator } => {
+                write!(f, "duplicate initiator {initiator}")
+            }
+            ServeError::UnknownInitiator { initiator } => {
+                write!(f, "processor {initiator} is not a configured initiator")
+            }
+            ServeError::QueueFull { initiator, capacity } => {
+                write!(f, "queue for initiator {initiator} is full (capacity {capacity})")
+            }
+            ServeError::Graph(e) => write!(f, "topology error: {e}"),
+            ServeError::Sim(e) => write!(f, "simulator error: {e}"),
+            ServeError::SnapViolation { request, initiator } => write!(
+                f,
+                "snap violation: request {} at initiator {initiator} was initiated after the \
+                 fault but did not complete correctly",
+                request.0
+            ),
+            ServeError::Report(msg) => write!(f, "report error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}

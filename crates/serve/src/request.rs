@@ -1,0 +1,166 @@
+//! Broadcast requests and the per-request feedback aggregation.
+
+use std::fmt;
+
+use pif_core::wave::Aggregate;
+use pif_graph::ProcId;
+
+/// Globally unique identifier of a submitted request (submission order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Which fold the feedback wave applies to the per-processor
+/// contributions of this request.
+///
+/// The contract of [`pif_core::wave::Aggregate`] — associative,
+/// commutative folds — restricts the menu; these four cover the
+/// applications in `pif-apps` (acknowledgment counting, infimum/supremum,
+/// distributed sums).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AggregateKind {
+    /// Count acknowledging processors (every contribution is 1; the root's
+    /// feedback equals `N` exactly when \[PIF2\] holds).
+    Ack,
+    /// Sum of the per-processor contribution values.
+    Sum,
+    /// Maximum of the per-processor contribution values.
+    Max,
+    /// Minimum of the per-processor contribution values.
+    Min,
+}
+
+impl AggregateKind {
+    /// All kinds, for round-robin workload generators.
+    pub const ALL: [AggregateKind; 4] =
+        [AggregateKind::Ack, AggregateKind::Sum, AggregateKind::Max, AggregateKind::Min];
+
+    /// Stable lowercase name (used in reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            AggregateKind::Ack => "ack",
+            AggregateKind::Sum => "sum",
+            AggregateKind::Max => "max",
+            AggregateKind::Min => "min",
+        }
+    }
+
+    /// The feedback value a correct cycle must deliver over
+    /// `contributions` (the whole-network fold, root included).
+    pub fn expected(self, contributions: &[i64]) -> i64 {
+        match self {
+            AggregateKind::Ack => contributions.len() as i64,
+            AggregateKind::Sum => contributions.iter().sum(),
+            AggregateKind::Max => contributions.iter().copied().max().unwrap_or(0),
+            AggregateKind::Min => contributions.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One broadcast request: deliver `payload` from `initiator` to every
+/// processor and fold feedback per `aggregate`.
+#[derive(Clone, Debug)]
+pub struct Request<M> {
+    /// The root of this request's PIF cycle.
+    pub initiator: ProcId,
+    /// The value every processor must receive.
+    pub payload: M,
+    /// How the acknowledgment wave folds contributions.
+    pub aggregate: AggregateKind,
+}
+
+impl<M> Request<M> {
+    /// Builds a request.
+    pub fn new(initiator: ProcId, payload: M, aggregate: AggregateKind) -> Self {
+        Request { initiator, payload, aggregate }
+    }
+}
+
+/// A kind-switchable [`Aggregate`]: one fixed contribution vector, with
+/// the fold selected per request (via
+/// [`pif_core::wave::WaveOverlay::aggregate_mut`] just before arming).
+#[derive(Clone, Debug)]
+pub struct KindAggregate {
+    kind: AggregateKind,
+    contributions: Vec<i64>,
+}
+
+impl KindAggregate {
+    /// One contribution per processor, indexed by id.
+    pub fn new(contributions: Vec<i64>) -> Self {
+        KindAggregate { kind: AggregateKind::Ack, contributions }
+    }
+
+    /// Selects the fold for the next cycle.
+    pub fn set_kind(&mut self, kind: AggregateKind) {
+        self.kind = kind;
+    }
+
+    /// The currently selected fold.
+    pub fn kind(&self) -> AggregateKind {
+        self.kind
+    }
+
+    /// The contribution vector (e.g. to compute expected feedback).
+    pub fn contributions(&self) -> &[i64] {
+        &self.contributions
+    }
+}
+
+impl Aggregate for KindAggregate {
+    type Value = i64;
+
+    fn contribution(&self, p: ProcId) -> i64 {
+        match self.kind {
+            AggregateKind::Ack => 1,
+            _ => self.contributions[p.index()],
+        }
+    }
+
+    fn fold(&self, a: i64, b: i64) -> i64 {
+        match self.kind {
+            AggregateKind::Ack | AggregateKind::Sum => a + b,
+            AggregateKind::Max => a.max(b),
+            AggregateKind::Min => a.min(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_values_per_kind() {
+        let c = [3i64, -1, 4, 1];
+        assert_eq!(AggregateKind::Ack.expected(&c), 4);
+        assert_eq!(AggregateKind::Sum.expected(&c), 7);
+        assert_eq!(AggregateKind::Max.expected(&c), 4);
+        assert_eq!(AggregateKind::Min.expected(&c), -1);
+    }
+
+    #[test]
+    fn kind_aggregate_folds_match_expected() {
+        let c = vec![3i64, -1, 4, 1];
+        let mut agg = KindAggregate::new(c.clone());
+        for kind in AggregateKind::ALL {
+            agg.set_kind(kind);
+            let mut acc = agg.contribution(ProcId(0));
+            for i in 1..c.len() {
+                acc = agg.fold(acc, agg.contribution(ProcId(i as u32)));
+            }
+            assert_eq!(acc, kind.expected(&c), "{kind}");
+        }
+    }
+}

@@ -60,6 +60,36 @@ for code in AN001 AN002 AN003; do
         "$trace_dir/analyze_mutants.json" > /dev/null
 done
 
+# Wave-service smoke (DESIGN.md §13): a short seeded soak must finish
+# with a spotless ledger, and the same soak with a mid-flight
+# register-corruption campaign must keep every post-fault request
+# correct (the binary exits non-zero on any ledger violation in either
+# mode). The emitted JSON must carry the documented report shape.
+./target/release/pif-serve soak --topology torus:4x4 --initiators 4 --shards 2 \
+    --seed 11 --requests 400 --json "$trace_dir/soak_clean.json"
+./target/release/pif-serve soak --topology torus:3x3 --initiators 3 --shards 2 \
+    --seed 17 --requests 200 --daemon central-random \
+    --corrupt-after 30 --corrupt-registers 10 \
+    --json "$trace_dir/soak_fault.json"
+for f in soak_clean soak_fault; do
+    jq -e '.benchmark == "service_throughput" and .version == 1
+           and (.results | length == 1)' "$trace_dir/$f.json" > /dev/null
+done
+jq -e '.results[0] | .summary.completed_ok == 400 and .summary.casualties == 0' \
+    "$trace_dir/soak_clean.json" > /dev/null
+jq -e '.results[0].summary
+       | .post_fault_total > 0 and .post_fault_ok == .post_fault_total
+         and .timed_out == 0' "$trace_dir/soak_fault.json" > /dev/null
+# The committed service benchmark must parse with the right shape and
+# replay bit-identically from its recorded seed (deterministic fields
+# only; `check` exits non-zero on any mismatch).
+jq -e '.benchmark == "service_throughput" and .version == 1
+       and (.results | length == 9)' BENCH_service_throughput.json > /dev/null
+jq -e '[.results[] | select(.summary.completed_ok == .requests
+        and .summary.post_fault_ok == .summary.post_fault_total)]
+       | length == 9' BENCH_service_throughput.json > /dev/null
+./target/release/pif-serve check BENCH_service_throughput.json
+
 # Unsafe-audit gate: the workspace's concurrency claims are audited under
 # the premise that no crate uses `unsafe` (DESIGN.md §12). Keep it true.
 if grep -rn "unsafe" --include='*.rs' crates/ vendor/ \
@@ -84,12 +114,12 @@ else
     echo "cargo miri unavailable; skipping UB-interpreter stage"
 fi
 
-# Clippy pedantic subset on the analyzer and parallel crates (--no-deps
+# Clippy pedantic subset on the analyzer, parallel and serving crates (--no-deps
 # keeps the stricter bar scoped to them). The curated allow-list drops
 # pedantic lints that fight the workspace idiom: narrowing casts in
 # packed-state/projection code, panic-is-the-assert test style, and
 # naming/length conventions the rest of the workspace does not follow.
-cargo clippy -p pif-analyze -p pif-par --no-deps --all-targets -- -D warnings \
+cargo clippy -p pif-analyze -p pif-par -p pif-serve --no-deps --all-targets -- -D warnings \
     -W clippy::pedantic \
     -A clippy::cast-possible-truncation \
     -A clippy::cast-possible-wrap \
