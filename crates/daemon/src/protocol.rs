@@ -534,7 +534,16 @@ pub struct EnabledSet<'a, S> {
 }
 
 impl<'a, S> EnabledSet<'a, S> {
-    pub(crate) fn new(
+    /// Builds a snapshot from externally maintained bookkeeping.
+    ///
+    /// [`crate::Simulator`] constructs these internally; alternative step
+    /// engines (e.g. a packed structure-of-arrays backend) that keep their
+    /// own enabled-set bookkeeping use this constructor to hand the same
+    /// daemon-facing view to an unmodified [`crate::Daemon`].
+    /// `actions` must have one (possibly empty) entry per processor, and
+    /// `procs` must list exactly the processors with a non-empty entry, in
+    /// ascending id order.
+    pub fn new(
         graph: &'a Graph,
         states: &'a [S],
         actions: &'a [Vec<ActionId>],

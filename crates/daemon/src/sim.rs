@@ -78,6 +78,23 @@ pub struct StepDelta<'a, P: Protocol> {
 }
 
 impl<'a, P: Protocol> StepDelta<'a, P> {
+    /// Builds a delta from externally maintained step bookkeeping.
+    ///
+    /// [`Simulator`] constructs these internally; alternative step engines
+    /// that honor the same observer contract use this constructor.
+    /// `old_states` must be parallel to `executed` (each entry the
+    /// pre-step state of the corresponding executed processor), and
+    /// `before`, when present, must be the full pre-step configuration.
+    pub fn new(
+        executed: &'a [(ProcId, ActionId)],
+        old_states: &'a [P::State],
+        before: Option<&'a [P::State]>,
+        step: u64,
+        round_completed: bool,
+    ) -> Self {
+        StepDelta { executed, old_states, before, step, round_completed }
+    }
+
     /// The `(processor, action)` pairs that executed, in selection order.
     #[inline]
     pub fn executed(&self) -> &'a [(ProcId, ActionId)] {

@@ -3,6 +3,7 @@
 //! ```text
 //! pif-serve soak  [--requests N] [--initiators K] [--shards S]
 //!                 [--topology SPEC] [--seed X] [--daemon NAME]
+//!                 [--engine aos|soa]
 //!                 [--corrupt-after N --corrupt-registers K] [--json PATH]
 //! pif-serve bench [--seed X] [--requests N] [--out PATH]
 //! pif-serve check FILE
@@ -21,7 +22,8 @@ use std::process::ExitCode;
 use pif_graph::Topology;
 use pif_serve::report::{envelope, parse_envelope};
 use pif_serve::{
-    run_scenario, spread_initiators, Scenario, ServeDaemon, ServeError, ServiceReport,
+    run_scenario, run_scenario_on, spread_initiators, Engine, Scenario, ServeDaemon, ServeError,
+    ServiceReport,
 };
 
 fn main() -> ExitCode {
@@ -70,6 +72,9 @@ fn soak(args: &[String]) -> Result<(), ServeError> {
     let topology =
         Topology::parse(spec).map_err(|e| ServeError::Report(format!("bad topology: {e}")))?;
     let daemon = ServeDaemon::parse(opt(args, "--daemon").unwrap_or("synchronous"))?;
+    let engine_spec = opt(args, "--engine").unwrap_or("aos");
+    let engine = Engine::parse(engine_spec)
+        .ok_or_else(|| ServeError::Report(format!("bad value for --engine: {engine_spec:?}")))?;
     let corrupt_after: Option<u64> = match opt(args, "--corrupt-after") {
         Some(v) => Some(
             v.parse()
@@ -89,11 +94,11 @@ fn soak(args: &[String]) -> Result<(), ServeError> {
         requests,
         fault: corrupt_after.map(|after| (after, corrupt_registers, seed ^ 0xFA17)),
     };
-    let service = run_scenario(&scenario)?;
+    let service = run_scenario_on(&scenario, engine)?;
     let report = ServiceReport::capture(&service, scenario.fault);
     let s = &report.summary;
     println!(
-        "soak {spec}: {} requests, {} ok, {} bad, {} timed out, {} casualties \
+        "soak {spec} [{engine}]: {} requests, {} ok, {} bad, {} timed out, {} casualties \
          ({} post-fault, {} post-fault ok) in {:.3}s ({:.0} req/s)",
         s.total,
         s.completed_ok,

@@ -11,7 +11,8 @@
 //! overlap the protocol's questioning mechanism is built to tolerate.
 //!
 //! Fault epochs: [`Lane::apply_fault`] corrupts `k` registers in place
-//! (one [`Simulator::corrupt_many`] batch) and bumps the epoch counter.
+//! (one [`pif_daemon::Simulator::corrupt_many`]-style batch) and bumps the
+//! epoch counter.
 //! The in-flight request's `initiated_epoch` is refreshed whenever the
 //! overlay's broadcast marker changes — a corrupted wave that *restarts*
 //! (fresh root `B-action`) rebroadcasts the same armed payload and counts
@@ -24,8 +25,9 @@ use std::fmt;
 use pif_core::initial;
 use pif_core::wave::WaveOverlay;
 use pif_core::{PifProtocol, PifState};
-use pif_daemon::{Daemon, Fanout, MetricsObserver, PhaseReport, SimError, Simulator};
+use pif_daemon::{Daemon, Fanout, MetricsObserver, PhaseReport, SimError};
 use pif_graph::{Graph, ProcId};
+use pif_soa::{Engine, EngineSim};
 
 use crate::ledger::{RequestOutcome, RequestRecord};
 use crate::request::{KindAggregate, Request, RequestId};
@@ -51,7 +53,7 @@ struct InFlight<M> {
 pub(crate) struct Lane<M> {
     initiator: ProcId,
     shard: usize,
-    sim: Simulator<PifProtocol>,
+    sim: EngineSim,
     overlay: WaveOverlay<M, KindAggregate>,
     metrics: MetricsObserver,
     daemon: Box<dyn Daemon<PifState> + Send>,
@@ -69,12 +71,13 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
         contributions: Vec<i64>,
         daemon: Box<dyn Daemon<PifState> + Send>,
         step_limit: u64,
+        engine: Engine,
     ) -> Self {
         let n = graph.len();
         let protocol = PifProtocol::new(initiator, &graph);
         let init = initial::normal_starting(&graph);
         let metrics = MetricsObserver::for_protocol(&protocol, n);
-        let sim = Simulator::new(graph, protocol, init);
+        let sim = EngineSim::new(engine, graph, protocol, init);
         Lane {
             initiator,
             shard,

@@ -41,7 +41,7 @@ pub enum RequestOutcome {
 }
 
 /// The ledger entry of one request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RequestRecord {
     /// Submission-order id.
     pub id: RequestId,

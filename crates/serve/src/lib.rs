@@ -77,9 +77,10 @@ mod shard;
 pub use ledger::{DeliveryLedger, LedgerSummary, RequestOutcome, RequestRecord};
 pub use report::ServiceReport;
 pub use request::{AggregateKind, KindAggregate, Request, RequestId};
+pub use pif_soa::Engine;
 pub use service::{
-    run_scenario, spread_initiators, FaultSpec, Scenario, ServeConfig, ServeDaemon, ShedPolicy,
-    WaveService,
+    run_scenario, run_scenario_on, spread_initiators, FaultSpec, Scenario, ServeConfig,
+    ServeDaemon, ShedPolicy, WaveService,
 };
 
 /// Errors of the serving layer.

@@ -8,6 +8,7 @@ use pif_core::PifState;
 use pif_daemon::daemons::{CentralRandom, DistributedRandom, Synchronous};
 use pif_daemon::{Daemon, PhaseReport, PhaseTag};
 use pif_graph::{Graph, ProcId, Topology};
+use pif_soa::Engine;
 
 use crate::ledger::DeliveryLedger;
 use crate::request::{Request, RequestId};
@@ -113,6 +114,9 @@ pub struct ServeConfig {
     pub step_limit: u64,
     /// Per-processor feedback contributions (defaults to `index + 1`).
     pub contributions: Option<Vec<i64>>,
+    /// Step backend every lane runs on (the engines are observably
+    /// equivalent, so this changes throughput, never outcomes).
+    pub engine: Engine,
 }
 
 impl ServeConfig {
@@ -130,6 +134,7 @@ impl ServeConfig {
             daemon: ServeDaemon::Synchronous,
             step_limit: 100_000,
             contributions: None,
+            engine: Engine::Aos,
         }
     }
 
@@ -187,6 +192,13 @@ impl ServeConfig {
     #[must_use]
     pub fn contributions(mut self, contributions: Vec<i64>) -> Self {
         self.contributions = Some(contributions);
+        self
+    }
+
+    /// Selects the step backend every lane runs on.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -269,6 +281,7 @@ impl<M: Clone + PartialEq + fmt::Debug + Send> WaveService<M> {
                 contributions.clone(),
                 daemon,
                 config.step_limit,
+                config.engine,
             );
             route.push((p, shard, lanes[shard].len()));
             lanes[shard].push(lane);
@@ -454,11 +467,27 @@ pub struct Scenario {
 ///
 /// Propagates service construction and run errors.
 pub fn run_scenario(scenario: &Scenario) -> Result<WaveService<u64>, ServeError> {
+    run_scenario_on(scenario, Engine::Aos)
+}
+
+/// [`run_scenario`] with an explicit step backend. Scenarios are
+/// engine-agnostic (the engines produce identical executions, so recorded
+/// envelopes replay on either); the engine is a run-time choice, not part
+/// of the scenario.
+///
+/// # Errors
+///
+/// Propagates service construction and run errors.
+pub fn run_scenario_on(
+    scenario: &Scenario,
+    engine: Engine,
+) -> Result<WaveService<u64>, ServeError> {
     let config = ServeConfig::new(scenario.topology.clone())
         .initiators(scenario.initiators.clone())
         .shards(scenario.shards)
         .seed(scenario.seed)
         .daemon(scenario.daemon)
+        .engine(engine)
         .queue_capacity(scenario.requests.max(1) as usize);
     let mut service = WaveService::new(config)?;
     if let Some((after, k, seed)) = scenario.fault {

@@ -15,8 +15,8 @@
 
 use pif_graph::{ProcId, Topology};
 use pif_serve::{
-    run_scenario, spread_initiators, AggregateKind, FaultSpec, Request, Scenario, ServeConfig,
-    ServeDaemon, ServeError, ServiceReport, ShedPolicy, WaveService,
+    run_scenario, run_scenario_on, spread_initiators, AggregateKind, Engine, FaultSpec, Request,
+    Scenario, ServeConfig, ServeDaemon, ServeError, ServiceReport, ShedPolicy, WaveService,
 };
 
 /// 10 000 requests, 4 initiators, 2 shards, pipelined back-to-back: the
@@ -245,6 +245,38 @@ fn reports_replay_deterministically_from_their_seed() {
     assert!(replayed.deterministic_eq(&a));
     let c = run(&scenario(8));
     assert!(!c.deterministic_eq(&a), "different seeds should diverge");
+}
+
+/// Both step engines serve the same scenario bit-identically: the `SoA`
+/// backend must be observably indistinguishable from the `AoS` one all the
+/// way up through lanes, shards, the ledger, and fault campaigns.
+#[test]
+fn soa_engine_serves_identically_to_aos() {
+    for (daemon, fault) in [
+        (ServeDaemon::Synchronous, None),
+        (ServeDaemon::CentralRandom, Some((12u64, 6usize, 0x5EED_u64))),
+        (ServeDaemon::DistributedRandom, None),
+    ] {
+        let scenario = Scenario {
+            topology: Topology::Torus { w: 3, h: 3 },
+            initiators: spread_initiators(9, 3),
+            shards: 2,
+            seed: 19,
+            daemon,
+            requests: 60,
+            fault,
+        };
+        let aos = run_scenario_on(&scenario, Engine::Aos).unwrap();
+        let soa = run_scenario_on(&scenario, Engine::Soa).unwrap();
+        let ra = ServiceReport::capture(&aos, scenario.fault);
+        let rs = ServiceReport::capture(&soa, scenario.fault);
+        assert!(
+            ra.deterministic_eq(&rs),
+            "{daemon:?}: engines diverged\naos: {ra:?}\nsoa: {rs:?}"
+        );
+        assert_eq!(aos.ledger().records(), soa.ledger().records(), "{daemon:?}");
+        soa.ledger().assert_snap().unwrap();
+    }
 }
 
 /// The distributed-random daemon (a true distributed schedule) also

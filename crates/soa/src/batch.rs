@@ -1,0 +1,150 @@
+//! Batch stepping: advance many independent waves/shards in one pass.
+//!
+//! [`step_batch`] drives each simulator's synchronous fast path
+//! ([`crate::sim::SoaSimulator::step_sync`]) for up to a fixed number of
+//! steps, fanning the simulators out over `pif-par` workers. Shards are
+//! independent networks (no cross-shard edges), so this is embarrassingly
+//! parallel; with one worker (or one shard) the loop runs inline on the
+//! caller's thread and allocates nothing in steady state.
+
+use crate::sim::SoaSimulator;
+
+/// What one batch pass did to one simulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Computation steps executed (synchronous: one per tick).
+    pub steps: u64,
+    /// Processor moves executed (one guarded action each; the throughput
+    /// unit of the benchmarks).
+    pub moves: u64,
+    /// Whether the simulator ended the pass in a terminal configuration.
+    pub terminal: bool,
+}
+
+/// Advances every simulator by up to `max_steps_each` synchronous steps,
+/// using all available workers. See [`step_batch_workers`].
+pub fn step_batch(sims: &mut [SoaSimulator], max_steps_each: u64) -> Vec<BatchStats> {
+    step_batch_workers(sims, max_steps_each, pif_par::available_workers())
+}
+
+/// Advances every simulator by up to `max_steps_each` synchronous steps on
+/// `workers` threads, stopping a simulator early if it reaches a terminal
+/// configuration. Returns one [`BatchStats`] per simulator, in input order.
+///
+/// `workers <= 1` (or a single simulator) runs inline with no thread
+/// spawns and no steady-state allocation.
+pub fn step_batch_workers(
+    sims: &mut [SoaSimulator],
+    max_steps_each: u64,
+    workers: usize,
+) -> Vec<BatchStats> {
+    let mut out = Vec::with_capacity(sims.len());
+    step_batch_into(sims, max_steps_each, workers, &mut out);
+    out
+}
+
+/// [`step_batch_workers`] writing into a caller-owned buffer (`out` is
+/// cleared first): with `workers <= 1` (or a single simulator) and a
+/// warmed-up buffer, a batch pass performs no heap allocation at all —
+/// the variant long-lived per-shard stepping loops should use.
+pub fn step_batch_into(
+    sims: &mut [SoaSimulator],
+    max_steps_each: u64,
+    workers: usize,
+    out: &mut Vec<BatchStats>,
+) {
+    out.clear();
+    if workers <= 1 || sims.len() <= 1 {
+        out.reserve(sims.len());
+        for sim in sims.iter_mut() {
+            out.push(run_one(sim, max_steps_each));
+        }
+        return;
+    }
+    let handles: Vec<&mut SoaSimulator> = sims.iter_mut().collect();
+    out.extend(pif_par::par_map_workers(handles, workers, |sim| run_one(sim, max_steps_each)));
+}
+
+fn run_one(sim: &mut SoaSimulator, max_steps: u64) -> BatchStats {
+    let mut stats = BatchStats::default();
+    for _ in 0..max_steps {
+        let rep = sim.step_sync();
+        if rep.terminal && rep.executed == 0 {
+            stats.terminal = true;
+            break;
+        }
+        stats.steps += 1;
+        stats.moves += rep.executed as u64;
+        if rep.terminal {
+            stats.terminal = true;
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_core::{initial, PifProtocol};
+    use pif_graph::{generators, ProcId};
+
+    fn shard(n: usize, seed: u64) -> SoaSimulator {
+        let g = generators::ring(n).unwrap();
+        let proto = PifProtocol::new(ProcId(0), &g);
+        let init = initial::random_config(&g, &proto, seed);
+        SoaSimulator::new(g, proto, init)
+    }
+
+    #[test]
+    fn batch_matches_sequential_stepping() {
+        let mut batched: Vec<SoaSimulator> = (0..6).map(|i| shard(16, 1000 + i)).collect();
+        let mut solo: Vec<SoaSimulator> = (0..6).map(|i| shard(16, 1000 + i)).collect();
+        let stats = step_batch_workers(&mut batched, 50, 3);
+        for (sim, st) in solo.iter_mut().zip(&stats) {
+            let mut moves = 0u64;
+            for _ in 0..50 {
+                let rep = sim.step_sync();
+                if rep.terminal && rep.executed == 0 {
+                    break;
+                }
+                moves += rep.executed as u64;
+                if rep.terminal {
+                    break;
+                }
+            }
+            assert_eq!(moves, st.moves);
+        }
+        for (a, b) in batched.iter().zip(&solo) {
+            assert_eq!(a.states(), b.states());
+            assert_eq!(a.steps(), b.steps());
+        }
+    }
+
+    #[test]
+    fn inline_path_equals_parallel_path() {
+        let mut a: Vec<SoaSimulator> = (0..4).map(|i| shard(12, 7 + i)).collect();
+        let mut b: Vec<SoaSimulator> = (0..4).map(|i| shard(12, 7 + i)).collect();
+        let sa = step_batch_workers(&mut a, 30, 1);
+        let sb = step_batch_workers(&mut b, 30, 4);
+        assert_eq!(sa, sb);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.states(), y.states());
+        }
+    }
+
+    #[test]
+    fn terminal_shards_report_terminal_and_stop() {
+        // Wrong root N stalls the wave into a terminal configuration.
+        let g = generators::chain(3).unwrap();
+        let proto = PifProtocol::new(ProcId(0), &g).with_n_prime(5).with_root_n(5);
+        let init = initial::normal_starting(&g);
+        let mut sims = vec![SoaSimulator::new(g, proto, init)];
+        let first = step_batch_workers(&mut sims, 10_000, 1);
+        assert!(first[0].terminal);
+        let steps_after = sims[0].steps();
+        let again = step_batch_workers(&mut sims, 10, 1);
+        assert_eq!(again[0], BatchStats { steps: 0, moves: 0, terminal: true });
+        assert_eq!(sims[0].steps(), steps_after);
+    }
+}

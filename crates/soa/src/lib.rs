@@ -1,0 +1,54 @@
+//! Structure-of-arrays configuration backend for the snap-stabilizing PIF
+//! protocol.
+//!
+//! The generic simulator (`pif_daemon::Simulator`) stores a configuration
+//! as an array of [`pif_core::PifState`] structs and evaluates guards by
+//! re-scanning each neighborhood once per predicate. This crate transposes
+//! the configuration into packed register planes ([`SoaConfig`]: `B`/`F`
+//! membership and `Fok` as 64-processor bitset words; `Par`/`L`/`Count`
+//! flat), evaluates all seven guards of a processor in a *single* neighbor
+//! scan ([`GuardKernel::mask`] returns a 7-bit action mask), and settles
+//! whole-network recomputation with word algebra over the planes wherever
+//! the protocol structure allows (a clean non-root processor can only
+//! enable the B-action, and its guard is plane arithmetic).
+//!
+//! Three entry points, by generality:
+//!
+//! * [`SoaSimulator`] — drop-in peer of the generic simulator: same
+//!   daemon/observer/round/validation contract, observably identical
+//!   executions (pinned by differential property tests), plus the
+//!   daemon-free synchronous fast path [`SoaSimulator::step_sync`].
+//! * [`EngineSim`] — enum dispatch over both backends behind one API,
+//!   selected by [`Engine`]`::{Aos, Soa}`.
+//! * [`step_batch`] — advances many independent wave simulators (service
+//!   shards, benchmark replicas) in one pass over `pif-par` workers.
+//!
+//! # Example
+//!
+//! ```
+//! use pif_core::{initial, PifProtocol};
+//! use pif_graph::{generators, ProcId};
+//! use pif_soa::SoaSimulator;
+//!
+//! let graph = generators::torus(4, 4).unwrap();
+//! let protocol = PifProtocol::new(ProcId(0), &graph);
+//! let init = initial::normal_starting(&graph);
+//! let mut sim = SoaSimulator::new(graph, protocol, init);
+//! let report = sim.step_sync(); // synchronous daemon, no dispatch overhead
+//! assert!(report.executed >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod config;
+pub mod engine;
+pub mod kernel;
+pub mod sim;
+
+pub use batch::{step_batch, step_batch_into, step_batch_workers, BatchStats};
+pub use config::SoaConfig;
+pub use engine::{Engine, EngineSim};
+pub use kernel::GuardKernel;
+pub use sim::SoaSimulator;

@@ -68,11 +68,19 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::OnceLock;
 
 use memo::EnabledMemo;
-use pif_core::protocol::{B_ACTION, F_ACTION};
+use pif_core::protocol::{B_ACTION, B_CORRECTION, F_ACTION, F_CORRECTION};
 use pif_core::{Phase, PifProtocol, PifState};
 use pif_daemon::{ActionId, Protocol, View};
 use pif_graph::{Graph, ProcId};
 use visited::VisitedSet;
+
+/// Guard-mask bits of the two correction actions. A processor enables a
+/// correction action iff it is abnormal (the root's `B-correction` guard
+/// is `¬Normal`; a non-root abnormal processor holds phase `B` or `F` and
+/// enables `B-correction` or `F-correction` respectively; a non-root
+/// processor in phase `C` is always normal), so `mask & CORRECTION_BITS`
+/// decides abnormality without a second guard evaluation.
+const CORRECTION_BITS: u8 = (1 << B_CORRECTION.0) | (1 << F_CORRECTION.0);
 
 /// Error raised when an instance is outside what exhaustive checking can
 /// handle, or when a query refers to states outside the register domains.
@@ -436,22 +444,24 @@ impl StateSpace {
                 let n = self.graph.len();
                 let mut memo = EnabledMemo::allocate(self.total, n)?;
                 let chunks = memo.fill_chunks();
+                // The packed SoA kernel computes all seven guard bits of a
+                // processor in one neighbor scan; correction actions (bits
+                // 5 and 6) are enabled exactly on abnormal processors, so
+                // the abnormality plane falls out of the masks for free.
+                let kernel = pif_soa::GuardKernel::new(&self.protocol, &self.graph);
                 pif_par::par_map_workers(chunks, workers, |(base, masks, abnormal)| {
                     let mut states: Vec<PifState> = Vec::with_capacity(n);
-                    let mut acts: Vec<ActionId> = Vec::new();
+                    let mut packed = pif_soa::SoaConfig::new(n);
                     let configs = masks.len() / n;
                     for j in 0..configs {
                         let cfg = base + j as u64;
                         self.decode_into(cfg, &mut states);
+                        packed.load(&states);
                         let mut any_abnormal = false;
-                        for (i, p) in self.graph.procs().enumerate() {
-                            let view = View::new(&self.graph, &states, p);
-                            acts.clear();
-                            self.protocol.enabled_actions(view, &mut acts);
-                            masks[j * n + i] =
-                                acts.iter().fold(0u8, |m, a| m | 1 << a.index());
-                            any_abnormal |=
-                                !self.protocol.normal(View::new(&self.graph, &states, p));
+                        for i in 0..n {
+                            let mask = kernel.mask(&packed, i);
+                            masks[j * n + i] = mask;
+                            any_abnormal |= mask & CORRECTION_BITS != 0;
                         }
                         if any_abnormal {
                             abnormal[j / 64] |= 1 << (j % 64);

@@ -90,6 +90,29 @@ jq -e '[.results[] | select(.summary.completed_ok == .requests
        | length == 9' BENCH_service_throughput.json > /dev/null
 ./target/release/pif-serve check BENCH_service_throughput.json
 
+# SoA engine smoke (DESIGN.md §14): the AoS/SoA lockstep differential
+# must pass (identical states, enabled sets, rounds and step reports on
+# every step, across all three daemon families and three topologies —
+# the binary exits non-zero on any divergence), an SoA-engine soak must
+# finish with a spotless ledger, and the committed step-throughput
+# benchmark must carry the documented shape: 18 rows (3 topologies x 6
+# sizes), positive throughput in every engine column, and the accepted
+# >= 10M moves/sec synchronous batch-stepping row on torus n=1024.
+./target/release/exp_step_throughput --check
+./target/release/pif-serve soak --topology torus:4x4 --initiators 4 --shards 2 \
+    --seed 11 --requests 200 --engine soa --json "$trace_dir/soak_soa.json"
+jq -e '.results[0] | .summary.completed_ok == 200 and .summary.casualties == 0' \
+    "$trace_dir/soak_soa.json" > /dev/null
+jq -e '.benchmark == "step_throughput" and (.results | length == 18)' \
+    BENCH_step_throughput.json > /dev/null
+jq -e '[.results[] | select(.aos_steps_per_sec > 0 and .soa_steps_per_sec > 0
+        and .soa_sync_moves_per_sec > 0)] | length == 18' \
+    BENCH_step_throughput.json > /dev/null
+jq -e '.acceptance | contains("10000000")' BENCH_step_throughput.json > /dev/null
+jq -e '[.results[] | select(.topology == "torus" and .n == 1024
+        and .soa_sync_moves_per_sec >= 10000000)] | length == 1' \
+    BENCH_step_throughput.json > /dev/null
+
 # Unsafe-audit gate: the workspace's concurrency claims are audited under
 # the premise that no crate uses `unsafe` (DESIGN.md §12). Keep it true.
 if grep -rn "unsafe" --include='*.rs' crates/ vendor/ \
@@ -117,14 +140,17 @@ fi
 # Clippy pedantic subset on the analyzer, parallel and serving crates (--no-deps
 # keeps the stricter bar scoped to them). The curated allow-list drops
 # pedantic lints that fight the workspace idiom: narrowing casts in
-# packed-state/projection code, panic-is-the-assert test style, and
-# naming/length conventions the rest of the workspace does not follow.
-cargo clippy -p pif-analyze -p pif-par -p pif-serve --no-deps --all-targets -- -D warnings \
+# packed-state/projection code, panic-is-the-assert test style,
+# naming/length conventions the rest of the workspace does not follow,
+# and inline(always) on the SoA hot-path accessors (deliberate: the
+# batch-stepping kernel depends on those loads folding into the scan).
+cargo clippy -p pif-analyze -p pif-par -p pif-serve -p pif-soa --no-deps --all-targets -- -D warnings \
     -W clippy::pedantic \
     -A clippy::cast-possible-truncation \
     -A clippy::cast-possible-wrap \
     -A clippy::cast-precision-loss \
     -A clippy::cast-sign-loss \
+    -A clippy::inline-always \
     -A clippy::manual-assert \
     -A clippy::match-same-arms \
     -A clippy::missing-panics-doc \

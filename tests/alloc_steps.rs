@@ -17,9 +17,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pif_core::{initial, PifProtocol};
 use pif_daemon::daemons::CentralRandom;
 use pif_daemon::{ActionId, MetricsObserver, Protocol, Simulator, View};
 use pif_graph::{generators, ProcId};
+use pif_soa::{step_batch_into, BatchStats, SoaSimulator};
 
 struct CountingAlloc;
 
@@ -175,4 +177,80 @@ fn steady_state_metrics_observation_does_not_allocate() {
     let report = metrics.report();
     assert_eq!(report.total_steps, 12_000);
     assert!(report.total_rounds > 0, "phase round accounting must advance");
+}
+
+/// A PIF simulator on a torus: waves cycle forever (the root re-broadcasts
+/// after cleaning), so long measured loops never hit the terminal path,
+/// which legitimately reallocates when callers re-seed the configuration.
+fn soa_pif_sim(seed: u64) -> SoaSimulator {
+    let g = generators::torus(8, 8).unwrap();
+    let protocol = PifProtocol::new(ProcId(0), &g);
+    let init = initial::random_config(&g, &protocol, seed);
+    SoaSimulator::new(g, protocol, init)
+}
+
+#[test]
+fn soa_steady_state_steps_do_not_allocate() {
+    // The SoA engine inherits the AoS zero-allocation contract on the
+    // daemon-driven step path: snapshot, selection validation, execution,
+    // dirty-set mask recompute and round accounting all reuse scratch.
+    let mut sim = soa_pif_sim(0xA110C);
+    sim.set_validation(true);
+    let mut daemon = CentralRandom::new(0xA110C);
+
+    for _ in 0..2_000 {
+        let rep = sim.step(&mut daemon).unwrap();
+        assert!(!rep.terminal, "PIF waves must keep cycling");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    TRACKING.with(|t| t.set(true));
+    for _ in 0..10_000 {
+        sim.step(&mut daemon).unwrap();
+    }
+    TRACKING.with(|t| t.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "SoA step path allocated {} time(s) across 10k steady-state steps",
+        after - before
+    );
+    assert!(sim.rounds() > 0, "round accounting must still advance");
+}
+
+#[test]
+fn soa_sync_and_batch_stepping_do_not_allocate() {
+    // The synchronous fast path and the inline (single-worker) batch
+    // driver share the contract: after warm-up, whole-network steps move
+    // no heap memory.
+    let mut sim = soa_pif_sim(0x50A);
+    for _ in 0..2_000 {
+        let rep = sim.step_sync();
+        assert!(!rep.terminal, "PIF waves must keep cycling");
+    }
+
+    let mut shard = [sim];
+    let mut stats: Vec<BatchStats> = Vec::with_capacity(shard.len());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    TRACKING.with(|t| t.set(true));
+    for _ in 0..10_000 {
+        shard[0].step_sync();
+    }
+    step_batch_into(&mut shard, 5_000, 1, &mut stats);
+    TRACKING.with(|t| t.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "SoA sync/batch path allocated {} time(s) across 15k steady-state steps",
+        after - before
+    );
+    assert_eq!(stats.len(), 1);
+    assert_eq!(stats[0].steps, 5_000);
+    assert!(!stats[0].terminal);
+    assert!(stats[0].moves >= stats[0].steps);
 }

@@ -4,14 +4,39 @@
 
 use pif_core::checker::check_first_wave;
 use pif_core::wave::{UnitAggregate, WaveRunner};
-use pif_core::{analysis, initial, PifProtocol};
+use pif_core::{analysis, initial, PifProtocol, PifState};
 use pif_daemon::daemons::{CentralRandom, DistributedRandom, Synchronous};
-use pif_daemon::{RunLimits, Simulator};
-use pif_graph::{generators, ProcId};
+use pif_daemon::{ActionId, Daemon, Observer, RunLimits, Simulator, StepDelta};
+use pif_graph::{generators, Graph, ProcId};
+use pif_soa::SoaSimulator;
 use proptest::prelude::*;
 
 fn limits() -> RunLimits {
     RunLimits::new(2_000_000, 400_000)
+}
+
+/// One recorded step: `(step index, round flag, executed moves with their
+/// displaced old states, full pre-step configuration)`.
+type RecordedDelta = (u64, bool, Vec<(ProcId, ActionId, PifState)>, Vec<PifState>);
+
+/// Observer recording every [`StepDelta`] in full (executed pairs, the
+/// displaced old states, the pre-step configuration, step index and round
+/// flag) so two engines' delta streams can be compared verbatim.
+#[derive(Default)]
+struct RecordingObserver {
+    deltas: Vec<RecordedDelta>,
+}
+
+impl Observer<PifProtocol> for RecordingObserver {
+    fn needs_full_before(&self) -> bool {
+        true // exercise the before-copy path on both engines
+    }
+
+    fn step(&mut self, _: &Graph, delta: &StepDelta<'_, PifProtocol>, _: &[PifState]) {
+        let moves = delta.iter().map(|(p, a, s)| (p, a, *s)).collect();
+        let before = delta.before().expect("needs_full_before was requested").to_vec();
+        self.deltas.push((delta.step(), delta.round_completed(), moves, before));
+    }
 }
 
 proptest! {
@@ -198,6 +223,71 @@ proptest! {
                 ref_pending = now_enabled;
             }
             prop_assert_eq!(sim.rounds(), ref_rounds);
+        }
+    }
+
+    /// The SoA engine is observationally equivalent to the AoS engine:
+    /// stepping both under identical daemons from the same arbitrary
+    /// configuration yields the same step reports, the same [`StepDelta`]
+    /// stream (moves, displaced states, pre-step configurations, round
+    /// flags), the same final configuration, enabled sets and round count
+    /// — across chain/torus/random topologies at n ∈ {16, 64, 256} and
+    /// all three daemon families.
+    #[test]
+    fn soa_engine_matches_aos_engine(
+        topo in 0usize..3,
+        size_sel in 0usize..3,
+        cseed in any::<u64>(),
+        dseed in any::<u64>(),
+        daemon_kind in 0usize..3,
+        prob in 0.1f64..1.0,
+        steps in 1usize..120,
+    ) {
+        let n = [16usize, 64, 256][size_sel];
+        let g = match topo {
+            0 => generators::chain(n).unwrap(),
+            1 => {
+                let side = [4usize, 8, 16][size_sel];
+                generators::torus(side, side).unwrap()
+            }
+            _ => generators::random_connected(n, 0.05, cseed ^ 0x6EAF).unwrap(),
+        };
+        let protocol = PifProtocol::new(ProcId(0), &g);
+        let init = initial::random_config(&g, &protocol, cseed);
+        let mut aos = Simulator::new(g.clone(), protocol.clone(), init.clone());
+        let mut soa = SoaSimulator::new(g.clone(), protocol, init);
+        aos.set_validation(true);
+        soa.set_validation(true);
+        let mk = || -> Box<dyn Daemon<PifState>> {
+            match daemon_kind {
+                0 => Box::new(Synchronous::first_action()),
+                1 => Box::new(CentralRandom::new(dseed)),
+                _ => Box::new(DistributedRandom::new(prob, dseed)),
+            }
+        };
+        let (mut d_aos, mut d_soa) = (mk(), mk());
+        let mut o_aos = RecordingObserver::default();
+        let mut o_soa = RecordingObserver::default();
+        for _ in 0..steps {
+            if aos.is_terminal() {
+                prop_assert!(soa.is_terminal());
+                break;
+            }
+            let ra = aos.step_observed(&mut *d_aos, &mut o_aos).unwrap();
+            let rs = soa.step_observed(&mut *d_soa, &mut o_soa).unwrap();
+            prop_assert_eq!(ra, rs);
+        }
+        prop_assert_eq!(aos.states(), soa.states());
+        prop_assert_eq!(aos.enabled_procs(), soa.enabled_procs());
+        for q in g.procs() {
+            prop_assert_eq!(aos.enabled_actions(q), soa.enabled_actions(q));
+        }
+        prop_assert_eq!(aos.steps(), soa.steps());
+        prop_assert_eq!(aos.rounds(), soa.rounds());
+        prop_assert_eq!(aos.last_executed(), soa.last_executed());
+        prop_assert_eq!(o_aos.deltas.len(), o_soa.deltas.len());
+        for (da, ds) in o_aos.deltas.iter().zip(&o_soa.deltas) {
+            prop_assert_eq!(da, ds);
         }
     }
 
