@@ -158,20 +158,25 @@ fn bench_daemons(c: &mut Criterion) {
     group.finish();
 }
 
-/// B8 — message-passing overhead: the same cycle over the netsim
-/// transform vs shared memory.
+/// B8 — message-passing overhead: the same cycle over the `pif-net`
+/// transport vs shared memory.
 fn bench_netsim(c: &mut Criterion) {
+    use pif_net::Transport;
     let g = generators::ring(16).unwrap();
-    c.bench_function("netsim/cycle/ring(16)", |b| {
+    c.bench_function("net/cycle/ring(16)", |b| {
         b.iter(|| {
             let proto = PifProtocol::new(ProcId(0), &g);
-            let init = initial::normal_starting(&g);
-            let mut net = pif_netsim::NetSimulator::new(g.clone(), proto, init);
-            let done = net.run_random_until(1, 0.5, 2_000_000, |s| {
-                s[0].phase == pif_core::Phase::F
-            });
-            assert!(done);
-            black_box(net.stats().deliveries)
+            let mut net = pif_net::NetSim::builder(g.clone(), proto)
+                .states(initial::normal_starting(&g))
+                .seed(1)
+                .build()
+                .unwrap();
+            let stats = net
+                .run_until(2_000_000, &mut |s: &[pif_core::PifState]| {
+                    s[0].phase == pif_core::Phase::F
+                })
+                .expect("fault-free cycle completes");
+            black_box(stats.deliveries)
         })
     });
 }

@@ -34,6 +34,15 @@ pub enum SimError {
         /// The offending action, when identifiable.
         action: Option<ActionId>,
     },
+    /// A builder was finalized without an initial configuration.
+    MissingStates,
+    /// The initial configuration does not cover every processor.
+    StateCountMismatch {
+        /// Processors in the graph.
+        expected: usize,
+        /// States provided.
+        got: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +64,12 @@ impl fmt::Display for SimError {
                     write!(f, ")")?;
                 }
                 Ok(())
+            }
+            SimError::MissingStates => {
+                write!(f, "an initial configuration is required (states/states_with)")
+            }
+            SimError::StateCountMismatch { expected, got } => {
+                write!(f, "initial configuration has {got} states for {expected} processors")
             }
         }
     }

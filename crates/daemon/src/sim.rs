@@ -812,15 +812,26 @@ impl<P: Protocol> SimBuilder<P> {
     /// Panics if no initial configuration was provided, or if it does not
     /// cover every processor (same contract as [`Simulator::new`]).
     pub fn build(self) -> Simulator<P> {
-        let states = self
-            .states
-            .expect("SimBuilder: an initial configuration is required (states/states_with)");
+        self.try_build().unwrap_or_else(|e| panic!("SimBuilder: {e}"))
+    }
+
+    /// Finalizes the simulator, reporting configuration mistakes as typed
+    /// errors instead of panicking — the same construction contract the
+    /// net engine's `NetBuilder::build` follows.
+    pub fn try_build(self) -> Result<Simulator<P>, SimError> {
+        let states = self.states.ok_or(SimError::MissingStates)?;
+        if states.len() != self.graph.len() {
+            return Err(SimError::StateCountMismatch {
+                expected: self.graph.len(),
+                got: states.len(),
+            });
+        }
         let mut sim = Simulator::new(self.graph, self.protocol, states);
         if let Some(on) = self.validation {
             sim.set_validation(on);
         }
         sim.limits = self.limits;
-        sim
+        Ok(sim)
     }
 }
 
@@ -1075,6 +1086,21 @@ mod tests {
     #[should_panic(expected = "initial configuration is required")]
     fn builder_requires_states() {
         let _ = Simulator::builder(generators::chain(3).unwrap(), PushRight).build();
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let g = generators::chain(3).unwrap();
+        assert_eq!(
+            Simulator::builder(g.clone(), PushRight).try_build().err(),
+            Some(SimError::MissingStates)
+        );
+        assert_eq!(
+            Simulator::builder(g.clone(), PushRight).states(vec![1, 2]).try_build().err(),
+            Some(SimError::StateCountMismatch { expected: 3, got: 2 })
+        );
+        let sim = Simulator::builder(g, PushRight).states(vec![1, 2, 3]).try_build().unwrap();
+        assert_eq!(sim.states(), &[1, 2, 3]);
     }
 
     #[test]

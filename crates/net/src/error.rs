@@ -1,0 +1,194 @@
+//! Typed errors of the transport layer.
+//!
+//! Two families: [`FrameError`] is the *wire*-level rejection reason a
+//! decoder reports for a byte buffer that is not a well-formed frame
+//! (the checksum gate of DESIGN.md §15 — a corrupt frame is *rejected*,
+//! never silently applied); [`NetError`] covers everything else —
+//! invalid builder configuration and exhausted run budgets.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a received byte buffer was rejected by [`crate::frame::decode_frame`].
+///
+/// Every variant counts as a rejection in the link's
+/// [`crate::LinkStats::corrupt_rejected`] ledger when the buffer came off
+/// a channel; none of them ever reaches a register cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The buffer is shorter than the fixed header + trailer.
+    TooShort {
+        /// Observed buffer length in bytes.
+        len: usize,
+    },
+    /// The leading magic did not match [`crate::frame::WIRE_MAGIC`].
+    BadMagic {
+        /// The two bytes found where the magic belongs.
+        found: u16,
+    },
+    /// The frame advertises a wire version this decoder does not speak.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The kind byte names no known [`crate::frame::FrameKind`].
+    BadKind {
+        /// The kind byte found.
+        found: u8,
+    },
+    /// The header's payload length disagrees with the buffer length.
+    LengthMismatch {
+        /// Payload length claimed by the header.
+        header: usize,
+        /// Payload length implied by the buffer.
+        actual: usize,
+    },
+    /// The trailing CRC32 does not match the checksum of header+payload.
+    ChecksumMismatch {
+        /// Checksum recomputed over the received bytes.
+        computed: u32,
+        /// Checksum carried by the frame trailer.
+        carried: u32,
+    },
+    /// A payload exceeded the wire format's length field at encode time.
+    Oversize {
+        /// Offending payload length in bytes.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooShort { len } => {
+                write!(f, "frame too short: {len} bytes")
+            }
+            FrameError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:#06x}")
+            }
+            FrameError::BadVersion { found } => {
+                write!(f, "unsupported wire version {found}")
+            }
+            FrameError::BadKind { found } => {
+                write!(f, "unknown frame kind {found}")
+            }
+            FrameError::LengthMismatch { header, actual } => {
+                write!(f, "payload length mismatch: header says {header}, buffer holds {actual}")
+            }
+            FrameError::ChecksumMismatch { computed, carried } => {
+                write!(f, "CRC mismatch: computed {computed:#010x}, frame carries {carried:#010x}")
+            }
+            FrameError::Oversize { len } => {
+                write!(f, "payload of {len} bytes exceeds the wire format's length field")
+            }
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// Errors of the net engine: invalid construction and exhausted budgets.
+///
+/// Mirrors `pif_daemon::SimError` in spirit — configuration mistakes are
+/// typed values, not panics, so the three engines (`AoS`, `SoA`, net) share
+/// one fluent construction idiom.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The builder was finalized without an initial configuration.
+    MissingStates,
+    /// The initial configuration does not cover every processor.
+    StateCountMismatch {
+        /// Processors in the graph.
+        expected: usize,
+        /// States provided.
+        got: usize,
+    },
+    /// A fault-plan rate is outside `[0, 1)`.
+    RateOutOfRange {
+        /// Which rate (`"drop"`, `"duplicate"`, `"reorder"`, `"corrupt"`).
+        rate: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The delivery bias is outside the open interval `(0, 1)`.
+    BiasOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// A link capacity of zero can never carry a frame.
+    ZeroCapacity,
+    /// A run's event budget was exhausted before its target held.
+    BudgetExhausted {
+        /// Events consumed (executions + deliveries + heartbeats + idles).
+        events: u64,
+        /// Action executions among them.
+        executions: u64,
+    },
+    /// A wire-format error surfaced outside the normal receive path
+    /// (e.g. an oversize payload at encode time).
+    Frame(FrameError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::MissingStates => {
+                write!(f, "an initial configuration is required (states/states_with)")
+            }
+            NetError::StateCountMismatch { expected, got } => {
+                write!(f, "initial configuration covers {got} processors, graph has {expected}")
+            }
+            NetError::RateOutOfRange { rate, value } => {
+                write!(f, "fault rate `{rate}` = {value} is outside [0, 1)")
+            }
+            NetError::BiasOutOfRange { value } => {
+                write!(f, "delivery bias {value} is outside (0, 1)")
+            }
+            NetError::ZeroCapacity => write!(f, "link capacity must be at least 1"),
+            NetError::BudgetExhausted { events, executions } => {
+                write!(f, "event budget exhausted after {events} events ({executions} executions)")
+            }
+            NetError::Frame(e) => write!(f, "wire format error: {e}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FrameError::ChecksumMismatch { computed: 1, carried: 2 };
+        assert!(e.to_string().contains("CRC"));
+        let e = NetError::RateOutOfRange { rate: "drop", value: 1.5 };
+        assert!(e.to_string().contains("drop"));
+        assert!(e.to_string().contains("1.5"));
+        let e = NetError::BudgetExhausted { events: 10, executions: 3 };
+        assert!(e.to_string().contains("10 events"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<FrameError>();
+        check::<NetError>();
+    }
+}

@@ -1,33 +1,27 @@
-//! Asynchronous message-passing execution of shared-memory protocols.
+//! The previous-generation `pif-netsim` API, kept for one release as a
+//! deprecated shim.
 //!
-//! The paper's algorithm is written for the locally shared memory model:
-//! a guard reads the neighbors' registers *atomically*. Real networks
-//! pass messages. The classical bridge (used throughout the
-//! self-stabilization literature the paper cites — Katz & Perry \[17\],
-//! Varghese \[23\]) is **state dissemination**: every processor keeps a
-//! cached copy of each neighbor's registers, re-broadcasts its own state
-//! on every change, and evaluates guards against the caches; links are
-//! FIFO channels with arbitrary finite delay.
+//! This module is the old crate's `NetSimulator` verbatim: ad-hoc
+//! [`Event`]/[`Effect`] scheduling, bool-ish [`Effect::happened`],
+//! panicking construction, unframed in-memory "messages" (no wire
+//! format, no faults, no CRC), and `scramble_caches` writing caches by
+//! fiat. New code should use the layered transport instead:
 //!
-//! This crate implements that transform generically over any
-//! [`Protocol`], with a scheduler that interleaves action executions and
-//! message deliveries adversarially (seeded), so the workspace can
-//! *measure* which guarantees survive the weaker model:
+//! | legacy | replacement |
+//! |---|---|
+//! | `NetSimulator::new(g, p, init)` | [`crate::NetBuilder::new`]`(g, p).states(init).build()?` |
+//! | `.without_heartbeats()` | [`crate::NetBuilder::heartbeat_every`]`(0)` |
+//! | `run_random(seed, bias, budget)` | `.seed(..).delivery_bias(..)` + [`crate::Transport::run`] |
+//! | `run_random_until(..)` | [`crate::Transport::run_until`] |
+//! | `apply(event).happened()` | [`crate::Transport::tick`] → [`crate::TickOutcome`] |
+//! | `enabled_actions(p)` | [`crate::NetSim::enabled`]`(p)` / [`crate::TickOutcome::Executed`] |
+//! | `scramble_caches(f)` | [`crate::FaultPlan::scramble`] / [`crate::Transport::scramble_caches_with`] |
+//! | `stats()` (3 counters) | [`crate::NetSim::stats`] → [`crate::NetStats`] ledger |
 //!
-//! * from a clean, cache-consistent start the PIF cycle still completes
-//!   and delivers everywhere (stale guards cause extra churn that the
-//!   correction actions absorb) — asserted by tests across seeds;
-//! * snap-stabilization **from corrupted caches** is *not* claimed — the
-//!   message-passing model admits configurations the shared-memory proof
-//!   never faces. Experiment E13 (`exp_message_passing`) quantifies the
-//!   gap honestly instead of asserting it away.
-//!
-//! The transform preserves the model's key restriction: a processor's
-//! step reads only its own true state and its *caches* of the neighbors;
-//! it never peeks at another processor's true registers.
+//! See `DESIGN.md` §15 for the full migration notes. The shim still
+//! passes its original test suite; it will be removed after one release.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![allow(deprecated)]
 
 use std::collections::VecDeque;
 
@@ -37,6 +31,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// One directed link's identity: messages flow `from → to`.
+#[deprecated(since = "0.8.0", note = "use the typed `pif_net::Transport` API; see DESIGN.md §15")]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LinkId {
     /// Sending endpoint.
@@ -46,6 +41,7 @@ pub struct LinkId {
 }
 
 /// A schedulable event in the message-passing system.
+#[deprecated(since = "0.8.0", note = "use `pif_net::Transport::tick`; see DESIGN.md §15")]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Event {
     /// Processor executes one enabled action (as judged by its caches)
@@ -64,6 +60,7 @@ pub enum Event {
 }
 
 /// What applying an [`Event`] actually did.
+#[deprecated(since = "0.8.0", note = "use `pif_net::TickOutcome`; see DESIGN.md §15")]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Effect {
     /// The processor executed this action.
@@ -84,6 +81,7 @@ impl Effect {
 }
 
 /// Statistics of a message-passing run.
+#[deprecated(since = "0.8.0", note = "use `pif_net::NetStats`; see DESIGN.md §15")]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Action executions performed.
@@ -102,9 +100,10 @@ pub struct NetStats {
 /// Run the snap-stabilizing PIF over message passing from a clean start:
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use pif_core::{initial, PifProtocol};
 /// use pif_graph::{generators, ProcId};
-/// use pif_netsim::NetSimulator;
+/// use pif_net::legacy::NetSimulator;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = generators::ring(5)?;
@@ -116,6 +115,7 @@ pub struct NetStats {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(since = "0.8.0", note = "use `pif_net::NetBuilder`/`NetSim`; see DESIGN.md §15")]
 #[derive(Clone, Debug)]
 pub struct NetSimulator<P: Protocol> {
     graph: Graph,
@@ -192,6 +192,7 @@ impl<P: Protocol> NetSimulator<P> {
     /// transform that only sends on change. Clean starts still work;
     /// corrupted caches can then deadlock the system permanently (the
     /// tests demonstrate exactly this failure).
+    #[must_use]
     pub fn without_heartbeats(mut self) -> Self {
         self.heartbeats = false;
         self
@@ -301,9 +302,8 @@ impl<P: Protocol> NetSimulator<P> {
                 Effect::Sent(p)
             }
             Event::Deliver(link) => {
-                let k = match self.graph.neighbor_slice(link.to).binary_search(&link.from) {
-                    Ok(k) => k,
-                    Err(_) => return Effect::Nothing,
+                let Ok(k) = self.graph.neighbor_slice(link.to).binary_search(&link.from) else {
+                    return Effect::Nothing;
                 };
                 match self.channel[link.to.index()][k].pop_front() {
                     Some(state) => {
@@ -347,12 +347,12 @@ impl<P: Protocol> NetSimulator<P> {
         // Pick the event first, restore the scratch buffers, then apply —
         // `apply` takes its own turn with the view/action scratch.
         let event = if executable.is_empty() && deliverable.is_empty() {
-            if !self.heartbeats {
-                None
-            } else {
+            if self.heartbeats {
                 Some(Event::Heartbeat(ProcId::from_index(
                     rng.random_range(0..self.graph.len()),
                 )))
+            } else {
+                None
             }
         } else if self.heartbeats && rng.random_bool(0.02) {
             Some(Event::Heartbeat(ProcId::from_index(rng.random_range(0..self.graph.len()))))

@@ -1,0 +1,303 @@
+//! The link layer: bounded channels with seeded per-link faults.
+//!
+//! A [`Link`] is one directed channel carrying encoded frames. Faults
+//! are drawn from a per-link `SplitMix64` stream seeded from the master
+//! seed and the link's index, so every run is bit-replayable and the
+//! fault pattern on one link is independent of traffic on every other.
+//!
+//! Fault draws happen at **send** time, in a fixed documented order
+//! (drop → overflow → corrupt → enqueue → duplicate → reorder); a rate
+//! of zero consumes no randomness, so a fault-free plan leaves the link
+//! streams untouched. Corruption flips exactly one uniformly chosen bit
+//! of the frame copy in the channel — the CRC32 trailer rejects it at
+//! the receiver, which is the whole point: loss is visible in the
+//! ledger, never silent.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::NetError;
+use crate::stats::LinkStats;
+
+/// Per-link fault rates plus the optional cache-scramble campaign —
+/// the complete adversity configuration of a [`crate::NetBuilder`].
+///
+/// Rates are probabilities in `[0, 1)` applied independently per frame
+/// per link. `scramble_seed` arms a construction-time campaign that
+/// forges one frame per directed link (drawn from the seed via
+/// [`crate::WireState::scrambled`]) and delivers it through the normal
+/// receive path, so corrupted caches are reached *through the channel
+/// layer* and counted in [`crate::NetStats`], not installed by fiat.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a sent frame vanishes.
+    pub drop: f64,
+    /// Probability a sent frame is enqueued twice.
+    pub duplicate: f64,
+    /// Probability a sent frame is displaced from FIFO order.
+    pub reorder: f64,
+    /// Probability one bit of a sent frame is flipped in flight.
+    pub corrupt: f64,
+    /// When set, scramble every register cache at construction by
+    /// forging one frame per directed link from this seed.
+    pub scramble_seed: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The all-zero plan: lossless FIFO channels, no campaign.
+    pub const fn fault_free() -> Self {
+        FaultPlan { drop: 0.0, duplicate: 0.0, reorder: 0.0, corrupt: 0.0, scramble_seed: None }
+    }
+
+    /// Sets the drop rate.
+    #[must_use]
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.drop = rate;
+        self
+    }
+
+    /// Sets the duplication rate.
+    #[must_use]
+    pub fn duplicate_rate(mut self, rate: f64) -> Self {
+        self.duplicate = rate;
+        self
+    }
+
+    /// Sets the reorder rate.
+    #[must_use]
+    pub fn reorder_rate(mut self, rate: f64) -> Self {
+        self.reorder = rate;
+        self
+    }
+
+    /// Sets the bit-flip corruption rate.
+    #[must_use]
+    pub fn corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt = rate;
+        self
+    }
+
+    /// Arms the construction-time cache-scramble campaign.
+    #[must_use]
+    pub fn scramble(mut self, seed: u64) -> Self {
+        self.scramble_seed = Some(seed);
+        self
+    }
+
+    /// Whether the plan is the identity (no faults, no campaign).
+    pub fn is_fault_free(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.corrupt == 0.0
+            && self.scramble_seed.is_none()
+    }
+
+    /// Checks every rate is in `[0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RateOutOfRange`] naming the first offending rate.
+    pub fn validate(&self) -> Result<(), NetError> {
+        for (name, value) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+            ("corrupt", self.corrupt),
+        ] {
+            if !(0.0..1.0).contains(&value) {
+                return Err(NetError::RateOutOfRange { rate: name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One frame sitting in a channel. The flags record what the fault
+/// layer did to it, so the receive path can certify that damaged frames
+/// never reach a cache (`corrupted`) and that campaign forgeries are
+/// counted (`forged`).
+#[derive(Clone, Debug)]
+pub(crate) struct InFlightFrame {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) corrupted: bool,
+    pub(crate) forged: bool,
+}
+
+/// What [`Link::send`] did with a frame. `Overflow` means the new frame
+/// was queued after evicting the oldest one (newest snapshot wins).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SendOutcome {
+    Queued,
+    Dropped,
+    Overflow,
+}
+
+/// One directed bounded channel with its fault stream and counters.
+#[derive(Clone, Debug)]
+pub(crate) struct Link {
+    queue: VecDeque<InFlightFrame>,
+    capacity: usize,
+    rng: StdRng,
+    pub(crate) stats: LinkStats,
+}
+
+impl Link {
+    pub(crate) fn new(capacity: usize, seed: u64) -> Self {
+        Link {
+            queue: VecDeque::new(),
+            capacity,
+            rng: StdRng::seed_from_u64(seed),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offers one encoded frame to the link, applying the fault plan.
+    ///
+    /// Draw order is fixed (drop, overflow, corrupt, duplicate, reorder)
+    /// and zero rates draw nothing, keeping replay bit-identical.
+    ///
+    /// Overflow evicts the *oldest* queued frame to make room — these
+    /// are state-snapshot channels, so the newest snapshot always wins;
+    /// dropping fresh frames on overflow would let a saturated link pin
+    /// every downstream cache arbitrarily stale.
+    pub(crate) fn send(&mut self, frame: &[u8], plan: &FaultPlan) -> SendOutcome {
+        self.stats.sent += 1;
+        if plan.drop > 0.0 && self.rng.random_bool(plan.drop) {
+            self.stats.dropped += 1;
+            return SendOutcome::Dropped;
+        }
+        let mut overflowed = false;
+        if self.queue.len() >= self.capacity {
+            self.queue.pop_front();
+            self.stats.overflow_dropped += 1;
+            overflowed = true;
+        }
+        let mut bytes = frame.to_vec();
+        let mut corrupted = false;
+        if plan.corrupt > 0.0 && self.rng.random_bool(plan.corrupt) {
+            let bit = self.rng.random_range(0..bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            corrupted = true;
+            self.stats.corrupted += 1;
+        }
+        self.queue.push_back(InFlightFrame { bytes, corrupted, forged: false });
+        if plan.duplicate > 0.0
+            && self.queue.len() < self.capacity
+            && self.rng.random_bool(plan.duplicate)
+        {
+            let copy = self.queue.back().expect("frame just enqueued").clone();
+            self.queue.push_back(copy);
+            self.stats.duplicated += 1;
+        }
+        if plan.reorder > 0.0 && self.queue.len() >= 2 && self.rng.random_bool(plan.reorder) {
+            let last = self.queue.len() - 1;
+            let other = self.rng.random_range(0..last);
+            self.queue.swap(other, last);
+            self.stats.reordered += 1;
+        }
+        if overflowed {
+            SendOutcome::Overflow
+        } else {
+            SendOutcome::Queued
+        }
+    }
+
+    /// Pops the head frame, if any. Decoding (and the delivered /
+    /// rejected accounting) happens in the transport's receive path.
+    pub(crate) fn recv(&mut self) -> Option<InFlightFrame> {
+        self.queue.pop_front()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Vec<u8> {
+        use crate::frame::{encode_frame, FrameHeader, FrameKind};
+        let mut out = Vec::new();
+        let header = FrameHeader {
+            kind: FrameKind::StateUpdate,
+            sender: pif_graph::ProcId(0),
+            seq: 1,
+        };
+        encode_frame(header, &[7, 7, 7], &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn fault_free_link_is_lossless_fifo() {
+        let mut link = Link::new(4, 1);
+        let plan = FaultPlan::fault_free();
+        for _ in 0..4 {
+            assert_eq!(link.send(&frame(), &plan), SendOutcome::Queued);
+        }
+        // Overflow evicts the oldest frame; the new frame still lands.
+        assert_eq!(link.send(&frame(), &plan), SendOutcome::Overflow);
+        assert_eq!(link.stats.sent, 5);
+        assert_eq!(link.stats.overflow_dropped, 1);
+        assert_eq!(link.len(), 4);
+        while let Some(f) = link.recv() {
+            assert!(!f.corrupted && !f.forged);
+            assert!(crate::frame::decode_frame(&f.bytes).is_ok());
+        }
+    }
+
+    #[test]
+    fn total_drop_rate_delivers_nothing() {
+        let mut link = Link::new(4, 2);
+        let plan = FaultPlan::fault_free().drop_rate(0.999_999_999);
+        for _ in 0..50 {
+            link.send(&frame(), &plan);
+        }
+        assert_eq!(link.stats.dropped, 50);
+        assert!(link.is_empty());
+    }
+
+    #[test]
+    fn corrupted_frames_fail_decode() {
+        let mut link = Link::new(64, 3);
+        let plan = FaultPlan::fault_free().corrupt_rate(0.999_999_999);
+        for _ in 0..20 {
+            link.send(&frame(), &plan);
+        }
+        assert_eq!(link.stats.corrupted, 20);
+        while let Some(f) = link.recv() {
+            assert!(f.corrupted);
+            assert!(crate::frame::decode_frame(&f.bytes).is_err(), "bit flip not caught");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_pattern() {
+        let plan = FaultPlan::fault_free().drop_rate(0.3).duplicate_rate(0.2).reorder_rate(0.4);
+        let run = |seed| {
+            let mut link = Link::new(8, seed);
+            for _ in 0..100 {
+                link.send(&frame(), &plan);
+            }
+            link.stats
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn plan_validation_rejects_out_of_range_rates() {
+        assert!(FaultPlan::fault_free().validate().is_ok());
+        assert!(FaultPlan::fault_free().drop_rate(1.0).validate().is_err());
+        assert!(FaultPlan::fault_free().corrupt_rate(-0.1).validate().is_err());
+        assert!(FaultPlan::fault_free().reorder_rate(f64::NAN).validate().is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Delivery/loss ledgers: per-link and aggregated counters.
+//!
+//! Every counter is an integer, every struct derives `Eq`, and every
+//! increment is driven by the seeded schedule — so two runs from the
+//! same seed produce *bit-identical* stats, which the replay tests and
+//! `exp_net_throughput --check` assert.
+
+/// Counters of one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames the sender offered to the link (before fault draws).
+    pub sent: u64,
+    /// Frames delivered to the receiver and applied to its cache.
+    pub delivered: u64,
+    /// Frames dropped by the fault plan's `drop` rate.
+    pub dropped: u64,
+    /// Extra copies enqueued by the `duplicate` rate.
+    pub duplicated: u64,
+    /// Frames displaced from FIFO order by the `reorder` rate.
+    pub reordered: u64,
+    /// Frames damaged in flight by the `corrupt` rate (one bit flipped).
+    pub corrupted: u64,
+    /// Received frames rejected by the decoder (checksum or structure).
+    pub corrupt_rejected: u64,
+    /// Damaged frames that *passed* the decoder — CRC32 detects every
+    /// single-bit error, so this must stay zero; E13 certifies it.
+    pub corrupt_applied: u64,
+    /// Received frames rejected by the per-link freshness gate: their
+    /// sequence number was not newer than the last applied one, so
+    /// applying them (reordered or duplicated old snapshots) would have
+    /// regressed the receiver's cache.
+    pub stale_rejected: u64,
+    /// Oldest frames evicted because the bounded channel was full when a
+    /// newer snapshot arrived.
+    pub overflow_dropped: u64,
+    /// Frames forged into the channel by a corruption campaign.
+    pub forged: u64,
+}
+
+impl LinkStats {
+    /// Frames lost to any cause (drop rate, overflow, rejection).
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.overflow_dropped + self.corrupt_rejected + self.stale_rejected
+    }
+}
+
+/// Aggregated statistics of a transport run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Scheduler events consumed (executions, deliveries, rejections,
+    /// heartbeats and idle skips all count).
+    pub events: u64,
+    /// Action executions performed.
+    pub executions: u64,
+    /// Frames delivered and applied to a register cache.
+    pub deliveries: u64,
+    /// Heartbeat broadcasts fired by the cadence.
+    pub heartbeats: u64,
+    /// Frames offered to links (state updates + heartbeats, per link).
+    pub frames_sent: u64,
+    /// Frames dropped by the fault plan.
+    pub dropped: u64,
+    /// Extra copies enqueued by the fault plan.
+    pub duplicated: u64,
+    /// Frames displaced from FIFO order.
+    pub reordered: u64,
+    /// Frames damaged in flight.
+    pub corrupted: u64,
+    /// Received frames rejected by the decoder.
+    pub corrupt_rejected: u64,
+    /// Damaged frames applied anyway — must be zero (CRC gate).
+    pub corrupt_applied: u64,
+    /// Received frames rejected as stale by the freshness gate.
+    pub stale_rejected: u64,
+    /// Oldest frames evicted from full channels by newer snapshots.
+    pub overflow_dropped: u64,
+    /// Frames forged by cache-corruption campaigns.
+    pub forged_frames: u64,
+    /// Cache entries overwritten by forged frames.
+    pub cache_corruptions: u64,
+    /// Frames currently sitting in channels.
+    pub in_flight: u64,
+    /// Largest observed gap, in events, between two refreshes of the
+    /// same cache entry (the staleness the heartbeat cadence bounds).
+    pub staleness_max: u64,
+    /// Cache refreshes performed (deliveries that landed in a cache).
+    pub refreshes: u64,
+}
+
+impl NetStats {
+    /// Folds one link's counters into the aggregate.
+    pub(crate) fn absorb_link(&mut self, link: &LinkStats) {
+        self.frames_sent += link.sent;
+        self.dropped += link.dropped;
+        self.duplicated += link.duplicated;
+        self.reordered += link.reordered;
+        self.corrupted += link.corrupted;
+        self.corrupt_rejected += link.corrupt_rejected;
+        self.corrupt_applied += link.corrupt_applied;
+        self.stale_rejected += link.stale_rejected;
+        self.overflow_dropped += link.overflow_dropped;
+        self.forged_frames += link.forged;
+    }
+}

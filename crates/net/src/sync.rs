@@ -1,0 +1,128 @@
+//! The register-sync layer: neighbor-state caches with staleness
+//! accounting.
+//!
+//! The paper's model lets a guard read the neighbors' registers
+//! atomically. Over messages, each processor instead evaluates guards
+//! against a **cache** of each neighbor's last received register
+//! snapshot (Katz–Perry / Varghese state dissemination). This module
+//! owns those caches and measures their *staleness*: the gap, in
+//! scheduler events, between two refreshes of the same cache entry.
+//!
+//! The staleness is what the heartbeat cadence bounds: with cadence `H`
+//! on an `n`-processor system, every processor re-broadcasts its state
+//! every `n · H` events ([`crate::NetSim::resend_period`]), so a cache
+//! entry's refresh gap under a lossless schedule is bounded by the
+//! resend period plus the channel's queueing delay. Under lossy plans
+//! the observed maximum ([`crate::NetStats::staleness_max`]) quantifies
+//! how far reality strays from that bound.
+
+use pif_graph::{Graph, ProcId};
+
+/// Cached neighbor registers for every processor, with refresh stamps.
+///
+/// `cache[p][k]` is processor `p`'s copy of its `k`-th neighbor's state
+/// (`k` indexes `graph.neighbor_slice(p)`), exactly the layout of the
+/// receiving side of the link array.
+#[derive(Clone, Debug)]
+pub struct RegisterSync<S> {
+    cache: Vec<Vec<S>>,
+    last_refresh: Vec<Vec<u64>>,
+    staleness_max: u64,
+    refreshes: u64,
+}
+
+impl<S: Clone> RegisterSync<S> {
+    /// Builds consistent caches from the initial configuration.
+    pub fn new(graph: &Graph, init: &[S]) -> Self {
+        let cache: Vec<Vec<S>> = graph
+            .procs()
+            .map(|p| graph.neighbors(p).map(|q| init[q.index()].clone()).collect())
+            .collect();
+        let last_refresh = cache.iter().map(|row| vec![0u64; row.len()]).collect();
+        RegisterSync { cache, last_refresh, staleness_max: 0, refreshes: 0 }
+    }
+
+    /// Processor `p`'s cached copy of its `k`-th neighbor's state.
+    pub fn cached(&self, p: ProcId, k: usize) -> &S {
+        &self.cache[p.index()][k]
+    }
+
+    /// Refreshes `p`'s cache of its `k`-th neighbor at event `now`,
+    /// recording the refresh gap in the staleness ledger.
+    pub fn refresh(&mut self, p: ProcId, k: usize, state: S, now: u64) {
+        let stamp = &mut self.last_refresh[p.index()][k];
+        let gap = now.saturating_sub(*stamp);
+        if gap > self.staleness_max {
+            self.staleness_max = gap;
+        }
+        *stamp = now;
+        self.refreshes += 1;
+        self.cache[p.index()][k] = state;
+    }
+
+    /// Largest refresh gap observed so far, in events.
+    pub fn staleness_max(&self) -> u64 {
+        self.staleness_max
+    }
+
+    /// Total cache refreshes performed.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Fills `buf` with the local view processor `p` acts on: its own
+    /// true state everywhere, overlaid with its neighbor caches
+    /// (protocols never read non-neighbors, so the filler is inert).
+    /// Reusing the caller's buffer keeps the step loop allocation-free.
+    pub fn local_view_into(&self, graph: &Graph, own: &S, p: ProcId, buf: &mut Vec<S>) {
+        buf.clear();
+        buf.extend((0..graph.len()).map(|_| own.clone()));
+        for (k, q) in graph.neighbors(p).enumerate() {
+            buf[q.index()] = self.cache[p.index()][k].clone();
+        }
+    }
+}
+
+impl<S: Clone + PartialEq> RegisterSync<S> {
+    /// Whether every cache entry agrees with the true configuration —
+    /// the settlement condition of [`crate::Transport::is_settled`].
+    pub fn consistent_with(&self, graph: &Graph, states: &[S]) -> bool {
+        graph.procs().all(|p| {
+            graph
+                .neighbors(p)
+                .enumerate()
+                .all(|(k, q)| self.cache[p.index()][k] == states[q.index()])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pif_graph::generators;
+
+    #[test]
+    fn staleness_tracks_refresh_gaps() {
+        let g = generators::chain(3).unwrap();
+        let mut sync = RegisterSync::new(&g, &[0i32, 1, 2]);
+        assert!(sync.consistent_with(&g, &[0, 1, 2]));
+        sync.refresh(ProcId(0), 0, 5, 10);
+        assert_eq!(sync.staleness_max(), 10);
+        assert_eq!(*sync.cached(ProcId(0), 0), 5);
+        assert!(!sync.consistent_with(&g, &[0, 1, 2]));
+        sync.refresh(ProcId(0), 0, 1, 12);
+        assert_eq!(sync.staleness_max(), 10, "gap of 2 does not raise the max");
+        assert_eq!(sync.refreshes(), 2);
+        assert!(sync.consistent_with(&g, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn local_view_overlays_caches_on_own_state() {
+        let g = generators::chain(3).unwrap();
+        let mut sync = RegisterSync::new(&g, &[10i32, 20, 30]);
+        sync.refresh(ProcId(1), 0, 99, 1); // p1's cache of p0
+        let mut buf = Vec::new();
+        sync.local_view_into(&g, &20, ProcId(1), &mut buf);
+        assert_eq!(buf, vec![99, 20, 30]);
+    }
+}

@@ -3,7 +3,9 @@
 //! ```text
 //! pif-serve soak  [--requests N] [--initiators K] [--shards S]
 //!                 [--topology SPEC] [--seed X] [--daemon NAME]
-//!                 [--engine aos|soa]
+//!                 [--engine aos|soa] [--transport mem|net]
+//!                 [--net-drop R] [--net-dup R] [--net-reorder R]
+//!                 [--net-corrupt R]
 //!                 [--corrupt-after N --corrupt-registers K] [--json PATH]
 //! pif-serve bench [--seed X] [--requests N] [--out PATH]
 //! pif-serve check FILE
@@ -11,7 +13,10 @@
 //!
 //! * `soak` runs one scenario (closed loop: the whole workload is
 //!   enqueued, then drained), prints the ledger summary, and fails on a
-//!   snap violation.
+//!   snap violation. `--transport net` serves every lane over the lossy
+//!   message-passing transport (`pif-net`), with per-link fault rates
+//!   from the `--net-*` flags; `--json` replay recording stays
+//!   mem-transport only (the envelope schema has no net section).
 //! * `bench` sweeps {chain, torus, random} × n ∈ {16, 64, 256} and
 //!   writes the versioned `BENCH_service_throughput.json` envelope.
 //! * `check` replays every result in a recorded envelope from its seed
@@ -20,10 +25,11 @@
 use std::process::ExitCode;
 
 use pif_graph::Topology;
+use pif_net::FaultPlan;
 use pif_serve::report::{envelope, parse_envelope};
 use pif_serve::{
-    run_scenario, run_scenario_on, spread_initiators, Engine, Scenario, ServeDaemon, ServeError,
-    ServiceReport,
+    run_scenario, run_scenario_net, run_scenario_on, spread_initiators, Engine, NetLaneConfig,
+    Scenario, ServeDaemon, ServeError, ServiceReport,
 };
 
 fn main() -> ExitCode {
@@ -83,6 +89,26 @@ fn soak(args: &[String]) -> Result<(), ServeError> {
         None => None,
     };
     let corrupt_registers: usize = parse_num(args, "--corrupt-registers", 8)?;
+    let transport = opt(args, "--transport").unwrap_or("mem");
+    let net = match transport {
+        "mem" => None,
+        "net" => Some(NetLaneConfig {
+            plan: FaultPlan::fault_free()
+                .drop_rate(parse_num(args, "--net-drop", 0.0)?)
+                .duplicate_rate(parse_num(args, "--net-dup", 0.0)?)
+                .reorder_rate(parse_num(args, "--net-reorder", 0.0)?)
+                .corrupt_rate(parse_num(args, "--net-corrupt", 0.0)?),
+            ..NetLaneConfig::default()
+        }),
+        other => {
+            return Err(ServeError::Report(format!("bad value for --transport: {other:?}")))
+        }
+    };
+    if net.is_some() && opt(args, "--json").is_some() {
+        return Err(ServeError::Report(
+            "--json replay recording is mem-transport only; drop --transport net".into(),
+        ));
+    }
 
     let n = topology.build()?.len();
     let scenario = Scenario {
@@ -94,11 +120,15 @@ fn soak(args: &[String]) -> Result<(), ServeError> {
         requests,
         fault: corrupt_after.map(|after| (after, corrupt_registers, seed ^ 0xFA17)),
     };
-    let service = run_scenario_on(&scenario, engine)?;
+    let service = match net {
+        Some(cfg) => run_scenario_net(&scenario, cfg)?,
+        None => run_scenario_on(&scenario, engine)?,
+    };
     let report = ServiceReport::capture(&service, scenario.fault);
     let s = &report.summary;
+    let label = if net.is_some() { "net".to_string() } else { engine.to_string() };
     println!(
-        "soak {spec} [{engine}]: {} requests, {} ok, {} bad, {} timed out, {} casualties \
+        "soak {spec} [{label}]: {} requests, {} ok, {} bad, {} timed out, {} casualties \
          ({} post-fault, {} post-fault ok) in {:.3}s ({:.0} req/s)",
         s.total,
         s.completed_ok,

@@ -25,12 +25,104 @@ use std::fmt;
 use pif_core::initial;
 use pif_core::wave::WaveOverlay;
 use pif_core::{PifProtocol, PifState};
-use pif_daemon::{Daemon, Fanout, MetricsObserver, PhaseReport, SimError};
+use pif_daemon::{Daemon, Fanout, MetricsObserver, Observer, PhaseReport};
 use pif_graph::{Graph, ProcId};
+use pif_net::{NetSim, Transport};
 use pif_soa::{Engine, EngineSim};
 
 use crate::ledger::{RequestOutcome, RequestRecord};
 use crate::request::{KindAggregate, Request, RequestId};
+use crate::service::NetLaneConfig;
+use crate::ServeError;
+
+/// Ticks of the net transport one lane step may burn while waiting for
+/// an execution before reporting a dry step (heartbeats and deliveries
+/// keep flowing inside the burst; only executions advance the overlay).
+const NET_BURST: u32 = 4096;
+
+/// Consecutive dry net steps (zero executions in a whole burst) before a
+/// lane declares the in-flight request stuck and times it out.
+const NET_DRY_LIMIT: u64 = 64;
+
+/// One lane's step engine: the shared-memory backends behind
+/// [`EngineSim`], or the lossy message-passing transport. The lane code
+/// is engine-agnostic — both variants expose the same states/observer
+/// surface; the net variant replaces the daemon with the transport's own
+/// seeded scheduler.
+#[allow(clippy::large_enum_variant)] // mirrors EngineSim; one LaneSim per lane
+pub(crate) enum LaneSim {
+    /// Shared-memory engine (`AoS` or `SoA`), driven by the lane's daemon.
+    Mem(EngineSim),
+    /// Message-passing transport with its seeded internal scheduler.
+    Net(Box<NetSim<PifProtocol>>),
+}
+
+impl LaneSim {
+    fn graph(&self) -> &Graph {
+        match self {
+            LaneSim::Mem(s) => s.graph(),
+            LaneSim::Net(s) => s.graph(),
+        }
+    }
+
+    fn protocol(&self) -> &PifProtocol {
+        match self {
+            LaneSim::Mem(s) => s.protocol(),
+            LaneSim::Net(s) => s.protocol(),
+        }
+    }
+
+    fn states(&self) -> &[PifState] {
+        match self {
+            LaneSim::Mem(s) => s.states(),
+            LaneSim::Net(s) => s.states(),
+        }
+    }
+
+    /// Completed rounds. The net engine has no round notion (there is no
+    /// global schedule to partition); it reports executions divided by
+    /// the network size — a proxy on the same scale, documented in the
+    /// report schema.
+    fn rounds(&self) -> u64 {
+        match self {
+            LaneSim::Mem(s) => s.rounds(),
+            LaneSim::Net(s) => s.executions() / s.graph().len() as u64,
+        }
+    }
+
+    fn corrupt_many(&mut self, corruptions: &[(ProcId, PifState)]) {
+        match self {
+            LaneSim::Mem(s) => s.corrupt_many(corruptions),
+            LaneSim::Net(s) => s.corrupt_many(corruptions),
+        }
+    }
+
+    /// One lane step: exactly one observed execution on the mem engines;
+    /// on the net engine, ticks (deliveries, heartbeats, rejections)
+    /// until one execution lands or the burst budget is spent. Returns
+    /// whether an execution was observed.
+    fn step_observed(
+        &mut self,
+        daemon: &mut dyn Daemon<PifState>,
+        observer: &mut dyn Observer<PifProtocol>,
+    ) -> Result<bool, ServeError> {
+        match self {
+            LaneSim::Mem(s) => {
+                s.step_observed(daemon, observer)?;
+                Ok(true)
+            }
+            LaneSim::Net(s) => {
+                for _ in 0..NET_BURST {
+                    let outcome = s.tick_observed(observer);
+                    if matches!(outcome, pif_net::TickOutcome::Executed { .. }) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+}
 
 /// Bookkeeping for the request currently occupying the lane's wave.
 #[derive(Clone, Debug)]
@@ -53,7 +145,7 @@ struct InFlight<M> {
 pub(crate) struct Lane<M> {
     initiator: ProcId,
     shard: usize,
-    sim: EngineSim,
+    sim: LaneSim,
     overlay: WaveOverlay<M, KindAggregate>,
     metrics: MetricsObserver,
     daemon: Box<dyn Daemon<PifState> + Send>,
@@ -61,9 +153,13 @@ pub(crate) struct Lane<M> {
     current: Option<InFlight<M>>,
     fault_epoch: u32,
     step_limit: u64,
+    /// Consecutive dry net steps (see [`NET_DRY_LIMIT`]); always 0 on
+    /// the mem engines.
+    dry_steps: u64,
 }
 
 impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         graph: Graph,
         initiator: ProcId,
@@ -72,13 +168,28 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
         daemon: Box<dyn Daemon<PifState> + Send>,
         step_limit: u64,
         engine: Engine,
-    ) -> Self {
+        net: Option<(&NetLaneConfig, u64)>,
+    ) -> Result<Self, ServeError> {
         let n = graph.len();
         let protocol = PifProtocol::new(initiator, &graph);
         let init = initial::normal_starting(&graph);
         let metrics = MetricsObserver::for_protocol(&protocol, n);
-        let sim = EngineSim::new(engine, graph, protocol, init);
-        Lane {
+        let sim = match net {
+            None => LaneSim::Mem(
+                EngineSim::builder(engine, graph, protocol).states(init).try_build()?,
+            ),
+            Some((cfg, lane_seed)) => LaneSim::Net(Box::new(
+                NetSim::builder(graph, protocol)
+                    .states(init)
+                    .fault_plan(cfg.plan)
+                    .capacity(cfg.capacity)
+                    .heartbeat_every(cfg.heartbeat_every)
+                    .delivery_bias(cfg.delivery_bias)
+                    .seed(lane_seed)
+                    .build()?,
+            )),
+        };
+        Ok(Lane {
             initiator,
             shard,
             sim,
@@ -89,7 +200,8 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
             current: None,
             fault_epoch: 0,
             step_limit,
-        }
+            dry_steps: 0,
+        })
     }
 
     pub(crate) fn initiator(&self) -> ProcId {
@@ -160,11 +272,12 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
     /// Executes one computation step of this lane, arming the next queued
     /// request first if the lane is idle. Returns a record when the step
     /// closed a request (root `F-action` observed, or budget exhausted).
-    pub(crate) fn tick(&mut self) -> Result<Option<RequestRecord>, SimError> {
+    pub(crate) fn tick(&mut self) -> Result<Option<RequestRecord>, ServeError> {
         if self.current.is_none() {
             let Some((id, req)) = self.queue.pop_front() else {
                 return Ok(None);
             };
+            self.dry_steps = 0;
             // Arm immediately — this is the pipelining: the previous
             // cycle's cleaning wave may still be draining through the
             // network, and the root will re-broadcast as soon as its own
@@ -183,7 +296,12 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
         }
 
         let mut fanout = Fanout::new(&mut self.overlay, &mut self.metrics);
-        self.sim.step_observed(&mut *self.daemon, &mut fanout)?;
+        let progressed = self.sim.step_observed(&mut *self.daemon, &mut fanout)?;
+        if progressed {
+            self.dry_steps = 0;
+        } else {
+            self.dry_steps += 1;
+        }
 
         let mut cur = self.current.take().expect("in-flight request");
 
@@ -203,10 +321,14 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
         // broadcast marker is a corruption-induced spurious root F-action,
         // not a cycle (the real B-action will clear it).
         if let (Some(bstep), Some(fstep)) = (cur.broadcast_step, self.overlay.feedback_step()) {
+            self.dry_steps = 0;
             return Ok(Some(self.complete(&cur, bstep, fstep)));
         }
 
-        if self.overlay.observed_steps().saturating_sub(cur.armed_at) >= self.step_limit {
+        if self.overlay.observed_steps().saturating_sub(cur.armed_at) >= self.step_limit
+            || self.dry_steps >= NET_DRY_LIMIT
+        {
+            self.dry_steps = 0;
             return Ok(Some(RequestRecord {
                 id: cur.id,
                 initiator: self.initiator,

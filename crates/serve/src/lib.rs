@@ -66,6 +66,7 @@ use std::fmt;
 
 use pif_daemon::SimError;
 use pif_graph::{GraphError, ProcId};
+use pif_net::NetError;
 
 pub mod ledger;
 mod lane;
@@ -79,8 +80,9 @@ pub use report::ServiceReport;
 pub use request::{AggregateKind, KindAggregate, Request, RequestId};
 pub use pif_soa::Engine;
 pub use service::{
-    run_scenario, run_scenario_on, spread_initiators, FaultSpec, Scenario, ServeConfig,
-    ServeDaemon, ShedPolicy, WaveService,
+    run_scenario, run_scenario_net, run_scenario_on, spread_initiators, FaultSpec, NetLaneConfig,
+    Scenario,
+    ServeConfig, ServeDaemon, ShedPolicy, WaveService,
 };
 
 /// Errors of the serving layer.
@@ -110,6 +112,8 @@ pub enum ServeError {
     Graph(GraphError),
     /// A simulator error surfaced from a shard worker.
     Sim(SimError),
+    /// A net-transport configuration or run error (lossy lane engine).
+    Net(NetError),
     /// The operational snap-stabilization claim failed: a request whose
     /// wave was initiated after the last fault did not complete correctly.
     SnapViolation {
@@ -137,6 +141,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Graph(e) => write!(f, "topology error: {e}"),
             ServeError::Sim(e) => write!(f, "simulator error: {e}"),
+            ServeError::Net(e) => write!(f, "net transport error: {e}"),
             ServeError::SnapViolation { request, initiator } => write!(
                 f,
                 "snap violation: request {} at initiator {initiator} was initiated after the \
@@ -159,5 +164,11 @@ impl From<GraphError> for ServeError {
 impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {
         ServeError::Sim(e)
+    }
+}
+
+impl From<NetError> for ServeError {
+    fn from(e: NetError) -> Self {
+        ServeError::Net(e)
     }
 }

@@ -8,6 +8,7 @@ use pif_core::PifState;
 use pif_daemon::daemons::{CentralRandom, DistributedRandom, Synchronous};
 use pif_daemon::{Daemon, PhaseReport, PhaseTag};
 use pif_graph::{Graph, ProcId, Topology};
+use pif_net::FaultPlan;
 use pif_soa::Engine;
 
 use crate::ledger::DeliveryLedger;
@@ -91,6 +92,34 @@ pub struct FaultSpec {
     pub seed: u64,
 }
 
+/// Configuration of the optional per-lane message-passing transport:
+/// when set on [`ServeConfig::net_transport`], every lane runs its PIF
+/// instance over a `pif_net::NetSim` (framed snapshots on seeded faulty
+/// links) instead of a shared-memory engine. Lane seeds derive from the
+/// service seed and the initiator, so runs stay bit-replayable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetLaneConfig {
+    /// Per-link fault rates (validated at lane construction).
+    pub plan: FaultPlan,
+    /// Bounded channel capacity, frames per directed link.
+    pub capacity: usize,
+    /// Heartbeat cadence in scheduler events (0 disables heartbeats).
+    pub heartbeat_every: u64,
+    /// Probability of preferring a delivery over an execution.
+    pub delivery_bias: f64,
+}
+
+impl Default for NetLaneConfig {
+    fn default() -> Self {
+        NetLaneConfig {
+            plan: FaultPlan::fault_free(),
+            capacity: 64,
+            heartbeat_every: 16,
+            delivery_bias: 0.5,
+        }
+    }
+}
+
 /// Builder-style configuration of a [`WaveService`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -117,6 +146,9 @@ pub struct ServeConfig {
     /// Step backend every lane runs on (the engines are observably
     /// equivalent, so this changes throughput, never outcomes).
     pub engine: Engine,
+    /// Optional message-passing transport: when set, lanes run over
+    /// lossy links instead of the shared-memory `engine`.
+    pub net: Option<NetLaneConfig>,
 }
 
 impl ServeConfig {
@@ -135,6 +167,7 @@ impl ServeConfig {
             step_limit: 100_000,
             contributions: None,
             engine: Engine::Aos,
+            net: None,
         }
     }
 
@@ -199,6 +232,14 @@ impl ServeConfig {
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Runs every lane over the message-passing transport (overrides the
+    /// shared-memory `engine` choice).
+    #[must_use]
+    pub fn net_transport(mut self, net: NetLaneConfig) -> Self {
+        self.net = Some(net);
         self
     }
 }
@@ -274,6 +315,10 @@ impl<M: Clone + PartialEq + fmt::Debug + Send> WaveService<M> {
         for (i, &p) in config.initiators.iter().enumerate() {
             let shard = shard_of[i];
             let daemon = config.daemon.build(mix(config.seed ^ (u64::from(p.0) << 17)));
+            let net = config
+                .net
+                .as_ref()
+                .map(|cfg| (cfg, mix(config.seed ^ (u64::from(p.0) << 29) ^ 0x6E65_7421)));
             let lane = crate::lane::Lane::new(
                 graph.clone(),
                 p,
@@ -282,7 +327,8 @@ impl<M: Clone + PartialEq + fmt::Debug + Send> WaveService<M> {
                 daemon,
                 config.step_limit,
                 config.engine,
-            );
+                net,
+            )?;
             route.push((p, shard, lanes[shard].len()));
             lanes[shard].push(lane);
         }
@@ -361,9 +407,9 @@ impl<M: Clone + PartialEq + fmt::Debug + Send> WaveService<M> {
             shard
         });
         self.run_seconds += start.elapsed().as_secs_f64();
-        for shard in &self.shards {
-            if let Some(e) = shard.error() {
-                return Err(ServeError::Sim(e.clone()));
+        for shard in &mut self.shards {
+            if let Some(e) = shard.take_error() {
+                return Err(e);
             }
         }
         Ok(())
@@ -482,13 +528,41 @@ pub fn run_scenario_on(
     scenario: &Scenario,
     engine: Engine,
 ) -> Result<WaveService<u64>, ServeError> {
-    let config = ServeConfig::new(scenario.topology.clone())
+    run_scenario_with(scenario, engine, None)
+}
+
+/// [`run_scenario`] over the message-passing transport: every lane runs
+/// its PIF instance on a `pif_net::NetSim` configured by `net`, with
+/// per-lane seeds derived from the scenario seed. The canonical workload
+/// is unchanged, so mem and net runs of one scenario are directly
+/// comparable in the ledger.
+///
+/// # Errors
+///
+/// Propagates service construction (including fault-plan validation) and
+/// run errors.
+pub fn run_scenario_net(
+    scenario: &Scenario,
+    net: NetLaneConfig,
+) -> Result<WaveService<u64>, ServeError> {
+    run_scenario_with(scenario, Engine::Aos, Some(net))
+}
+
+fn run_scenario_with(
+    scenario: &Scenario,
+    engine: Engine,
+    net: Option<NetLaneConfig>,
+) -> Result<WaveService<u64>, ServeError> {
+    let mut config = ServeConfig::new(scenario.topology.clone())
         .initiators(scenario.initiators.clone())
         .shards(scenario.shards)
         .seed(scenario.seed)
         .daemon(scenario.daemon)
         .engine(engine)
         .queue_capacity(scenario.requests.max(1) as usize);
+    if let Some(n) = net {
+        config = config.net_transport(n);
+    }
     let mut service = WaveService::new(config)?;
     if let Some((after, k, seed)) = scenario.fault {
         service.schedule_fault(FaultSpec {

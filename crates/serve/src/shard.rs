@@ -9,7 +9,6 @@
 
 use std::fmt;
 
-use pif_daemon::SimError;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -17,6 +16,7 @@ use crate::lane::Lane;
 use crate::ledger::RequestRecord;
 use crate::request::{Request, RequestId};
 use crate::service::{FaultSpec, ShedPolicy};
+use crate::ServeError;
 
 /// Splitmix64 finalizer: the deterministic hash behind shard assignment
 /// and per-lane seed derivation.
@@ -36,7 +36,7 @@ pub(crate) struct Shard<M> {
     pending_faults: Vec<FaultSpec>,
     completed: u64,
     records: Vec<RequestRecord>,
-    error: Option<SimError>,
+    error: Option<ServeError>,
 }
 
 impl<M: Clone + PartialEq + fmt::Debug> Shard<M> {
@@ -60,8 +60,9 @@ impl<M: Clone + PartialEq + fmt::Debug> Shard<M> {
         &self.records
     }
 
-    pub(crate) fn error(&self) -> Option<&SimError> {
-        self.error.as_ref()
+    /// Moves the first error out of the shard (the service reports it).
+    pub(crate) fn take_error(&mut self) -> Option<ServeError> {
+        self.error.take()
     }
 
     /// Registers a corruption campaign firing once this shard's completed

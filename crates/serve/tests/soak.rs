@@ -14,9 +14,11 @@
 //!   regardless of worker scheduling.
 
 use pif_graph::{ProcId, Topology};
+use pif_net::FaultPlan;
 use pif_serve::{
-    run_scenario, run_scenario_on, spread_initiators, AggregateKind, Engine, FaultSpec, Request,
-    Scenario, ServeConfig, ServeDaemon, ServeError, ServiceReport, ShedPolicy, WaveService,
+    run_scenario, run_scenario_net, run_scenario_on, spread_initiators, AggregateKind, Engine,
+    FaultSpec, NetLaneConfig, Request, Scenario, ServeDaemon, ServeConfig, ServeError,
+    ServiceReport, ShedPolicy, WaveService,
 };
 
 /// 10 000 requests, 4 initiators, 2 shards, pipelined back-to-back: the
@@ -276,6 +278,103 @@ fn soa_engine_serves_identically_to_aos() {
         );
         assert_eq!(aos.ledger().records(), soa.ledger().records(), "{daemon:?}");
         soa.ledger().assert_snap().unwrap();
+    }
+}
+
+/// Fault-free net transport: the serving contract is unchanged when
+/// every lane runs over `pif_net::NetSim` instead of shared memory.
+#[test]
+fn net_transport_serves_cleanly_fault_free() {
+    let scenario = Scenario {
+        topology: Topology::Torus { w: 3, h: 3 },
+        initiators: spread_initiators(9, 3),
+        shards: 2,
+        seed: 41,
+        daemon: ServeDaemon::CentralRandom,
+        requests: 60,
+        fault: None,
+    };
+    let service = run_scenario_net(&scenario, NetLaneConfig::default()).unwrap();
+    let summary = service.ledger().summary();
+    assert_eq!(summary.total, 60);
+    assert_eq!(summary.completed_ok, 60);
+    assert!(summary.is_clean(), "{summary:?}");
+}
+
+/// Lossy net transport: drops, duplicates, reorders, and corrupt frames
+/// on every link — every request must still complete correctly (the
+/// heartbeat resend masks losses; CRC masks corruption), and same seed
+/// must replay bit-identically.
+#[test]
+fn net_transport_serves_under_lossy_links_and_replays() {
+    let plan = FaultPlan::fault_free()
+        .drop_rate(0.10)
+        .duplicate_rate(0.05)
+        .reorder_rate(0.20)
+        .corrupt_rate(0.02);
+    let net = NetLaneConfig { plan, ..NetLaneConfig::default() };
+    let scenario = Scenario {
+        topology: Topology::Torus { w: 3, h: 3 },
+        initiators: spread_initiators(9, 3),
+        shards: 2,
+        seed: 43,
+        daemon: ServeDaemon::CentralRandom,
+        requests: 40,
+        fault: None,
+    };
+    let run = || ServiceReport::capture(&run_scenario_net(&scenario, net).unwrap(), None);
+    let a = run();
+    assert_eq!(a.summary.completed_ok, 40, "{:?}", a.summary);
+    assert!(a.summary.is_clean(), "{:?}", a.summary);
+    let b = run();
+    assert!(a.deterministic_eq(&b), "lossy net runs must replay from the seed");
+}
+
+/// Register-corruption campaigns over the lossy transport: the snap
+/// claim still holds for every post-fault wave.
+#[test]
+fn net_transport_register_faults_stay_snap() {
+    let plan = FaultPlan::fault_free().drop_rate(0.05).reorder_rate(0.10);
+    let net = NetLaneConfig { plan, ..NetLaneConfig::default() };
+    let scenario = Scenario {
+        topology: Topology::Torus { w: 3, h: 3 },
+        initiators: spread_initiators(9, 3),
+        shards: 2,
+        seed: 47,
+        daemon: ServeDaemon::CentralRandom,
+        requests: 60,
+        fault: Some((12, 8, 0xD00D)),
+    };
+    let service = run_scenario_net(&scenario, net).unwrap();
+    let ledger = service.ledger();
+    let summary = ledger.summary();
+    assert_eq!(summary.total, 60);
+    assert!(summary.post_fault_total > 0, "campaign never fired");
+    ledger.assert_snap().unwrap();
+}
+
+/// An invalid fault plan surfaces as a typed `ServeError::Net` at
+/// construction instead of a panic inside a worker.
+#[test]
+fn net_transport_invalid_plan_is_a_typed_error() {
+    let net = NetLaneConfig {
+        plan: FaultPlan::fault_free().drop_rate(1.5),
+        ..NetLaneConfig::default()
+    };
+    let scenario = Scenario {
+        topology: Topology::Chain { n: 4 },
+        initiators: vec![ProcId(0)],
+        shards: 1,
+        seed: 1,
+        daemon: ServeDaemon::CentralRandom,
+        requests: 1,
+        fault: None,
+    };
+    match run_scenario_net(&scenario, net) {
+        Err(ServeError::Net(e)) => {
+            assert!(e.to_string().contains("drop"), "unexpected net error: {e}");
+        }
+        other => panic!("expected ServeError::Net, got {other:?}"),
     }
 }
 

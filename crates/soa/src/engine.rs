@@ -66,6 +66,63 @@ pub enum EngineSim {
     Soa(SoaSimulator),
 }
 
+/// Fluent, fallible constructor for [`EngineSim`] — the same pattern as
+/// `pif_daemon::SimBuilder::try_build` and `pif_net::NetBuilder::build`,
+/// so every engine in the workspace builds through one shape with typed
+/// errors instead of panicking constructors.
+pub struct EngineBuilder {
+    engine: Engine,
+    graph: Graph,
+    protocol: PifProtocol,
+    states: Option<Vec<PifState>>,
+    validation: Option<bool>,
+}
+
+impl EngineBuilder {
+    /// Sets the initial configuration (required; one state per processor).
+    #[must_use]
+    pub fn states(mut self, states: Vec<PifState>) -> Self {
+        self.states = Some(states);
+        self
+    }
+
+    /// Builds the initial configuration from a per-processor closure.
+    #[must_use]
+    pub fn states_with(mut self, mut f: impl FnMut(ProcId) -> PifState) -> Self {
+        self.states = Some(self.graph.procs().map(&mut f).collect());
+        self
+    }
+
+    /// Enables or disables daemon-selection validation.
+    #[must_use]
+    pub fn validation(mut self, on: bool) -> Self {
+        self.validation = Some(on);
+        self
+    }
+
+    /// Finalizes the simulator on the selected backend.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingStates`] when no configuration was provided,
+    /// [`SimError::StateCountMismatch`] when it does not cover every
+    /// processor.
+    pub fn try_build(self) -> Result<EngineSim, SimError> {
+        let states = self.states.ok_or(SimError::MissingStates)?;
+        if states.len() != self.graph.len() {
+            return Err(SimError::StateCountMismatch {
+                expected: self.graph.len(),
+                got: states.len(),
+            });
+        }
+        let mut sim = EngineSim::new(self.engine, self.graph, self.protocol, states);
+        if let Some(on) = self.validation {
+            sim.set_validation(on);
+        }
+        Ok(sim)
+    }
+}
+
 impl EngineSim {
     /// Builds a simulator on the selected backend.
     pub fn new(engine: Engine, graph: Graph, protocol: PifProtocol, init: Vec<PifState>) -> Self {
@@ -73,6 +130,11 @@ impl EngineSim {
             Engine::Aos => EngineSim::Aos(Simulator::new(graph, protocol, init)),
             Engine::Soa => EngineSim::Soa(SoaSimulator::new(graph, protocol, init)),
         }
+    }
+
+    /// Starts a fluent builder on the selected backend.
+    pub fn builder(engine: Engine, graph: Graph, protocol: PifProtocol) -> EngineBuilder {
+        EngineBuilder { engine, graph, protocol, states: None, validation: None }
     }
 
     /// Which backend this simulator runs on.
@@ -224,6 +286,29 @@ mod tests {
         assert_eq!(Engine::parse("simd"), None);
         assert_eq!(Engine::default(), Engine::Aos);
         assert_eq!(Engine::Soa.to_string(), "soa");
+    }
+
+    #[test]
+    fn builder_reports_typed_errors_on_both_backends() {
+        let g = generators::chain(3).unwrap();
+        let proto = PifProtocol::new(ProcId(0), &g);
+        for e in Engine::ALL {
+            assert_eq!(
+                EngineSim::builder(e, g.clone(), proto.clone()).try_build().err(),
+                Some(SimError::MissingStates)
+            );
+            assert_eq!(
+                EngineSim::builder(e, g.clone(), proto.clone()).states(vec![]).try_build().err(),
+                Some(SimError::StateCountMismatch { expected: 3, got: 0 })
+            );
+            let sim = EngineSim::builder(e, g.clone(), proto.clone())
+                .states(initial::normal_starting(&g))
+                .validation(true)
+                .try_build()
+                .unwrap();
+            assert_eq!(sim.engine(), e);
+            assert_eq!(sim.states(), initial::normal_starting(&g));
+        }
     }
 
     #[test]

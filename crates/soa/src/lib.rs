@@ -49,6 +49,6 @@ pub mod sim;
 
 pub use batch::{step_batch, step_batch_into, step_batch_workers, BatchStats};
 pub use config::SoaConfig;
-pub use engine::{Engine, EngineSim};
+pub use engine::{Engine, EngineBuilder, EngineSim};
 pub use kernel::GuardKernel;
 pub use sim::SoaSimulator;

@@ -11,6 +11,7 @@ pub use pif_bench as bench;
 pub use pif_core as core;
 pub use pif_daemon as daemon;
 pub use pif_graph as graph;
-pub use pif_netsim as netsim;
+pub use pif_net as net;
 pub use pif_par as par;
+pub use pif_serve as serve;
 pub use pif_verify as verify;

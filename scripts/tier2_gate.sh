@@ -113,6 +113,32 @@ jq -e '[.results[] | select(.topology == "torus" and .n == 1024
         and .soa_sync_moves_per_sec >= 10000000)] | length == 1' \
     BENCH_step_throughput.json > /dev/null
 
+# Message-passing transport smoke (DESIGN.md §15): the net-vs-shared-memory
+# differential (fault-free max propagation must settle to the Simulator's
+# terminal configuration across chain/torus/random graphs) and the replay +
+# certification check (every (topology, fault-cell) point re-derives its
+# deterministic certification fields bit-identically from its seeds, with
+# 16/16 [PIF1]/[PIF2] completion and zero corrupt frames applied) must both
+# pass — each binary exits non-zero on any divergence. The committed
+# benchmark artifact must parse with the same certified shape.
+./target/release/exp_net_throughput --differential
+./target/release/exp_net_throughput --check
+jq -e '.benchmark == "net_throughput" and (.results | length == 6)' \
+    BENCH_net_throughput.json > /dev/null
+jq -e '[.results[] | select(.completed == 16 and .pif1_ok == 16
+        and .pif2_ok == 16 and .corrupt_applied == 0
+        and .events_per_sec > 0)] | length == 6' \
+    BENCH_net_throughput.json > /dev/null
+# Adversarial cells must actually exercise the CRC gate (rejections > 0).
+jq -e '[.results[] | select(.cell == "adversarial" and .crc_rejected > 0)]
+       | length == 3' BENCH_net_throughput.json > /dev/null
+# Serve over the lossy transport: a short seeded soak with a mid-flight
+# register-corruption campaign must keep every post-fault request correct.
+./target/release/pif-serve soak --topology torus:3x3 --initiators 3 --shards 2 \
+    --seed 23 --requests 120 --transport net \
+    --net-drop 0.1 --net-reorder 0.2 --net-corrupt 0.02 \
+    --corrupt-after 30 --corrupt-registers 8
+
 # Unsafe-audit gate: the workspace's concurrency claims are audited under
 # the premise that no crate uses `unsafe` (DESIGN.md §12). Keep it true.
 if grep -rn "unsafe" --include='*.rs' crates/ vendor/ \
@@ -137,14 +163,14 @@ else
     echo "cargo miri unavailable; skipping UB-interpreter stage"
 fi
 
-# Clippy pedantic subset on the analyzer, parallel and serving crates (--no-deps
+# Clippy pedantic subset on the analyzer, transport, parallel and serving crates (--no-deps
 # keeps the stricter bar scoped to them). The curated allow-list drops
 # pedantic lints that fight the workspace idiom: narrowing casts in
 # packed-state/projection code, panic-is-the-assert test style,
 # naming/length conventions the rest of the workspace does not follow,
 # and inline(always) on the SoA hot-path accessors (deliberate: the
 # batch-stepping kernel depends on those loads folding into the scan).
-cargo clippy -p pif-analyze -p pif-par -p pif-serve -p pif-soa --no-deps --all-targets -- -D warnings \
+cargo clippy -p pif-analyze -p pif-net -p pif-par -p pif-serve -p pif-soa --no-deps --all-targets -- -D warnings \
     -W clippy::pedantic \
     -A clippy::cast-possible-truncation \
     -A clippy::cast-possible-wrap \

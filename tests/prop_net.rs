@@ -1,0 +1,113 @@
+//! Property tests of the `pif-net` transport.
+//!
+//! * **Differential**: on fault-free channels, a schedule-independent
+//!   protocol (max propagation) driven through the message-passing
+//!   transport settles to exactly the terminal configuration the
+//!   shared-memory [`pif_daemon::Simulator`] reaches — across chains,
+//!   tori, and random connected graphs up to n = 64.
+//! * **Replay**: the full [`pif_net::NetStats`] ledger and the final
+//!   configuration of a lossy run are a pure function of the seed.
+
+use pif_daemon::daemons::Synchronous;
+use pif_daemon::{ActionId, Protocol, RunLimits, Simulator, View};
+use pif_graph::{generators, Graph};
+use pif_net::{FaultPlan, NetBuilder, Transport};
+use proptest::prelude::*;
+
+/// Max propagation: every processor adopts the largest value it can see.
+/// The fixpoint (everyone holds the global max) is schedule-independent,
+/// which makes it the right differential probe — PIF itself never
+/// terminates, so terminal configurations cannot be compared there.
+#[derive(Clone, Debug)]
+struct MaxProto;
+
+impl Protocol for MaxProto {
+    type State = u64;
+    fn action_names(&self) -> &'static [&'static str] {
+        &["adopt"]
+    }
+    fn enabled_actions(&self, view: View<'_, u64>, out: &mut Vec<ActionId>) {
+        if view.neighbor_states().any(|(_, &s)| s > *view.me()) {
+            out.push(ActionId(0));
+        }
+    }
+    fn execute(&self, view: View<'_, u64>, _: ActionId) -> u64 {
+        view.neighbor_states().map(|(_, &s)| s).max().unwrap_or(0).max(*view.me())
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn graph_for(family: u8, n: usize, seed: u64) -> Graph {
+    match family {
+        0 => generators::chain(n).unwrap(),
+        1 => {
+            let w = (n as f64).sqrt().ceil() as usize;
+            generators::torus(w, n.div_ceil(w)).unwrap()
+        }
+        _ => generators::random_connected(n, 0.15, seed).unwrap(),
+    }
+}
+
+fn assert_net_matches_shared_memory(g: Graph, init: Vec<u64>, seed: u64) {
+    let mut shm = Simulator::new(g.clone(), MaxProto, init.clone());
+    shm.run_to_fixpoint(&mut Synchronous::first_action(), RunLimits::default()).unwrap();
+    let mut net = NetBuilder::new(g, MaxProto).states(init).seed(seed).build().unwrap();
+    let stats = net.run(4_000_000);
+    assert!(net.is_settled(), "fault-free run must settle: {stats:?}");
+    assert_eq!(net.states(), shm.states(), "terminal configurations diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fault_free_transport_matches_shared_memory(
+        family in 0u8..3,
+        size in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let n = [8usize, 16, 64][size];
+        let g = graph_for(family, n, seed);
+        let init: Vec<u64> = (0..g.len() as u64).map(|i| splitmix(i ^ seed)).collect();
+        assert_net_matches_shared_memory(g, init, seed);
+    }
+
+    #[test]
+    fn lossy_stats_replay_bit_identically(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.3,
+        reorder in 0.0f64..0.3,
+        corrupt in 0.0f64..0.1,
+    ) {
+        let plan = FaultPlan::fault_free()
+            .drop_rate(drop)
+            .duplicate_rate(0.05)
+            .reorder_rate(reorder)
+            .corrupt_rate(corrupt);
+        let run = || {
+            let g = generators::ring(8).unwrap();
+            let init: Vec<u64> = (0..8u64).map(|i| splitmix(i ^ seed)).collect();
+            let mut net = NetBuilder::new(g, MaxProto)
+                .states(init)
+                .fault_plan(plan)
+                .seed(seed)
+                .build()
+                .unwrap();
+            for _ in 0..30_000 {
+                net.tick();
+            }
+            (net.stats(), net.states().to_vec())
+        };
+        let (s1, c1) = run();
+        let (s2, c2) = run();
+        prop_assert_eq!(s1, s2, "NetStats must be a pure function of the seed");
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(s1.corrupt_applied, 0, "CRC gate must hold under any rates");
+    }
+}
