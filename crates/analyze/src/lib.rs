@@ -253,6 +253,38 @@ impl InterferenceGraph {
     pub fn neighbor_complete(&self, action_count: usize) -> bool {
         self.cross_link_edge_count() == action_count * action_count
     }
+
+    /// The interference radius: the maximum link distance across which
+    /// any declared action pair interferes. `0` when every edge is
+    /// own-register, `1` when some edge crosses a link.
+    ///
+    /// The spec language itself only has own-scope and neighbor-scope
+    /// reads, so the radius is structurally bounded by 1 — this is the
+    /// premise of the exhaustive checker's partial-order reduction
+    /// (`pif-verify`): two processors at graph distance ≥ 2 can neither
+    /// disable, enable, nor change the effect of one another's moves,
+    /// so a daemon selection decomposes across graph components of the
+    /// selected set. The workspace test `reduction_soundness.rs` pins
+    /// the reduction to this query.
+    pub fn interference_radius(&self) -> usize {
+        usize::from(self.edges.iter().any(|e| e.across_link))
+    }
+
+    /// Whether executing `src` at a writer cannot interfere with `dst`
+    /// evaluated at a reader `distance` links away — neither the guard
+    /// verdict nor the effect of `dst` can change.
+    ///
+    /// `distance = 0` asks about the writer's own processor, `1` about a
+    /// direct neighbor; anything beyond the [interference
+    /// radius](Self::interference_radius) is independent by
+    /// construction.
+    pub fn independent_at(&self, src: &str, dst: &str, distance: usize) -> bool {
+        match distance {
+            0 => !self.has_edge(src, dst, false),
+            1 => !self.has_edge(src, dst, true),
+            _ => true,
+        }
+    }
 }
 
 /// The result of analyzing one protocol instance on one topology.

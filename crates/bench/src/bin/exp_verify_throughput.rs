@@ -1,7 +1,7 @@
 //! Emits exhaustive-checker throughput measurements as JSON on stdout,
-//! and differentially asserts that the sequential and parallel engines
-//! return identical reports on every measured instance (the tier-2 gate
-//! runs this as its verify smoke).
+//! and differentially asserts that the sequential, parallel, and
+//! reduced engines return identical verdicts on every measured instance
+//! (the tier-2 gate runs this as its verify smoke).
 //!
 //! Used to produce `BENCH_verify_throughput.json`:
 //!
@@ -9,15 +9,35 @@
 //! cargo run --release --bin exp_verify_throughput [-- --workers N] > BENCH_verify_throughput.json
 //! ```
 //!
+//! Three families of rows:
+//!
+//! * `correction_bound` / `snap_safety` — the full product searches on
+//!   the tier-1 instances, seeded from *every* configuration (the
+//!   paper's arbitrary-initial-configuration quantifier);
+//! * the same two checks on `chain3-mid` (root at the middle), where
+//!   the reflection symmetry makes the quotient reduction bite on a
+//!   product search;
+//! * `snap_wave` — the reachable-wave check seeded from the single
+//!   clean starting configuration, which is what scales to the n = 5
+//!   instances (`chain5`, `ring5`) and `grid3x2`; `full_space_configs`
+//!   on those rows is the configuration count the product search would
+//!   have to seed, for the states-explored-vs-full-space ratio.
+//!
+//! Each row also measures `Reduction::Full` (connected-selection
+//! partial-order reduction + symmetry quotient) on the sequential
+//! engine: `reduced_states_explored`, `reduced_states_per_sec`, and
+//! `states_ratio` (full / reduced; 1.0 where the instance is rigid and
+//! the quotient is trivial).
+//!
 //! The embedded `baseline_states_per_sec` figures are the pre-rewrite
 //! sequential checker (commit 2ca1ba9: monolithic `HashSet`, no guard
 //! memo, per-transition `enabled_into`) measured in the same container,
 //! so `seq_vs_baseline` tracks what the allocation-lean sequential path
-//! alone bought.
+//! alone bought; rows added later carry `null`.
 
 use pif_core::PifProtocol;
 use pif_graph::{generators, Graph, ProcId};
-use pif_verify::{Checker, StateSpace};
+use pif_verify::{Checker, Reduction, StateSpace};
 
 /// Minimum wall-clock spent per measurement after the cold run.
 const MIN_SECS: f64 = 0.3;
@@ -53,8 +73,12 @@ fn run_check(space: &StateSpace, checker: Checker, check: &str) -> Summary {
                 violations: format!("{:?}", r.violations),
             }
         }
-        "snap_safety" => {
-            let r = checker.check_snap_safety(space, true);
+        "snap_safety" | "snap_wave" => {
+            let r = if check == "snap_wave" {
+                checker.check_snap_wave(space, true)
+            } else {
+                checker.check_snap_safety(space, true)
+            };
             Summary {
                 states_explored: r.states_explored,
                 violation_count: r.violation_count,
@@ -69,8 +93,8 @@ fn run_check(space: &StateSpace, checker: Checker, check: &str) -> Summary {
 /// Measures steady-state throughput of `check` under `checker` on a
 /// fresh space (the cold run, which includes the one-time guard-memo
 /// build, is reported separately and excluded from the rate).
-fn measure(graph: &Graph, checker: Checker, check: &str) -> (Summary, f64) {
-    let protocol = PifProtocol::new(ProcId(0), graph);
+fn measure(graph: &Graph, root: ProcId, checker: Checker, check: &str) -> (Summary, f64) {
+    let protocol = PifProtocol::new(root, graph);
     let space = StateSpace::new(graph.clone(), protocol);
     let summary = run_check(&space, checker, check); // cold: builds the memo
     let mut runs = 0u32;
@@ -88,6 +112,10 @@ fn measure(graph: &Graph, checker: Checker, check: &str) -> (Summary, f64) {
     (summary, rate)
 }
 
+fn json_or_null(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |r| format!("{r:.0}"))
+}
+
 fn main() {
     let mut workers = pif_par::available_workers();
     let mut args = std::env::args().skip(1);
@@ -103,56 +131,84 @@ fn main() {
         }
     }
 
-    let instances: Vec<(&str, Graph)> = vec![
-        ("chain2", generators::chain(2).unwrap()),
-        ("chain3", generators::chain(3).unwrap()),
-        ("triangle", generators::complete(3).unwrap()),
-    ];
+    // (row name, graph, root, check)
+    let rows: Vec<(&str, Graph, ProcId, &str)> = {
+        let mut v = Vec::new();
+        for check in ["correction_bound", "snap_safety"] {
+            v.push(("chain2", generators::chain(2).unwrap(), ProcId(0), check));
+            v.push(("chain3", generators::chain(3).unwrap(), ProcId(0), check));
+            v.push(("triangle", generators::complete(3).unwrap(), ProcId(0), check));
+            v.push(("chain3-mid", generators::chain(3).unwrap(), ProcId(1), check));
+        }
+        for (name, g, root) in [
+            ("chain4", generators::chain(4).unwrap(), ProcId(0)),
+            ("chain5", generators::chain(5).unwrap(), ProcId(0)),
+            ("ring5", generators::ring(5).unwrap(), ProcId(0)),
+            ("grid3x2", generators::grid(3, 2).unwrap(), ProcId(1)),
+        ] {
+            v.push((name, g, root, "snap_wave"));
+        }
+        v
+    };
 
     println!("{{");
     println!("  \"benchmark\": \"verify_throughput\",");
     println!("  \"unit\": \"states_per_sec\",");
     println!("  \"protocol\": \"PifProtocol (arbitrary-network snap PIF)\",");
     println!(
-        "  \"method\": \"cargo run --release --bin exp_verify_throughput; per engine: fresh StateSpace, one cold run (builds the shared guard memo), then repeated runs for >= {MIN_SECS}s; rate = states_explored / steady-state run time. sequential = Checker::sequential (FIFO + HashSet reference engine), par1/parN = frontier-parallel engine with 1 and N workers over the sharded visited table. baseline = pre-rewrite sequential checker at commit 2ca1ba9, same container. Reports are asserted identical across engines before rates are published.\","
+        "  \"method\": \"cargo run --release --bin exp_verify_throughput; per engine: fresh StateSpace, one cold run (builds the shared guard memo), then repeated runs for >= {MIN_SECS}s; rate = states_explored / steady-state run time. sequential = Checker::sequential (FIFO reference engine), par1/parN = frontier-parallel engine with 1 and N workers over the sharded visited table, reduced = sequential engine under Reduction::Full (connected-selection POR + symmetry quotient). snap_wave rows search the slice reachable from the clean starting configuration instead of seeding every configuration; full_space_configs is what the product search would seed. baseline = pre-rewrite sequential checker at commit 2ca1ba9, same container (null where that commit could not run the instance). Verdicts are asserted identical across engines and reductions before rates are published.\","
     );
     println!("  \"workers\": {workers},");
-    println!("  \"host_parallelism\": {},", pif_par::available_workers());
+    println!("  \"host_parallelism\": {},", pif_par::host_parallelism());
     println!("  \"results\": [");
     let mut first = true;
-    for (name, graph) in &instances {
-        for check in ["correction_bound", "snap_safety"] {
-            let (seq_sum, seq_rate) = measure(graph, Checker::sequential(), check);
-            let (par1_sum, par1_rate) = measure(graph, Checker::with_workers(1), check);
-            let (parn_sum, parn_rate) = measure(graph, Checker::with_workers(workers), check);
-            assert_eq!(seq_sum, par1_sum, "parallel(1) diverged from sequential on {name}/{check}");
-            assert_eq!(seq_sum, parn_sum, "parallel({workers}) diverged from sequential on {name}/{check}");
-            assert!(seq_sum.verified, "{name}/{check} must verify");
-            let baseline = BASELINE
-                .iter()
-                .find(|&&(i, c, _)| i == *name && c == check)
-                .map(|&(_, _, r)| r)
-                .unwrap_or(f64::NAN);
-            if !first {
-                println!(",");
-            }
-            first = false;
-            print!(
-                "    {{\"instance\": \"{name}\", \"check\": \"{check}\", \"states_explored\": {}, \"verified\": {}, \"sequential_states_per_sec\": {:.0}, \"par1_states_per_sec\": {:.0}, \"parN_states_per_sec\": {:.0}, \"baseline_states_per_sec\": {:.0}, \"seq_vs_baseline\": {:.2}, \"parN_vs_seq\": {:.2}}}",
-                seq_sum.states_explored,
-                seq_sum.verified,
-                seq_rate,
-                par1_rate,
-                parn_rate,
-                baseline,
-                seq_rate / baseline,
-                parn_rate / seq_rate,
-            );
-            eprintln!(
-                "{name:>9} {check:<17} states {:>8}  seq {:>9.0}/s  par1 {:>9.0}/s  par{workers} {:>9.0}/s  (baseline {:>9.0}/s, seq x{:.2})",
-                seq_sum.states_explored, seq_rate, par1_rate, parn_rate, baseline, seq_rate / baseline
-            );
+    for (name, graph, root, check) in &rows {
+        let (seq_sum, seq_rate) = measure(graph, *root, Checker::sequential(), check);
+        let (par1_sum, par1_rate) = measure(graph, *root, Checker::with_workers(1), check);
+        let (parn_sum, parn_rate) = measure(graph, *root, Checker::with_workers(workers), check);
+        let reduced = Checker::sequential().with_reduction(Reduction::Full);
+        let (red_sum, red_rate) = measure(graph, *root, reduced, check);
+        assert_eq!(seq_sum, par1_sum, "parallel(1) diverged from sequential on {name}/{check}");
+        assert_eq!(seq_sum, parn_sum, "parallel({workers}) diverged from sequential on {name}/{check}");
+        assert_eq!(
+            (seq_sum.violation_count, seq_sum.verified, &seq_sum.violations),
+            (red_sum.violation_count, red_sum.verified, &red_sum.violations),
+            "reduced engine verdict diverged on {name}/{check}"
+        );
+        assert!(seq_sum.verified, "{name}/{check} must verify");
+        let config_count = {
+            let protocol = PifProtocol::new(*root, graph);
+            StateSpace::new(graph.clone(), protocol).config_count()
+        };
+        let baseline = BASELINE
+            .iter()
+            .find(|&&(i, c, _)| i == *name && c == *check)
+            .map(|&(_, _, r)| r);
+        if !first {
+            println!(",");
         }
+        first = false;
+        print!(
+            "    {{\"instance\": \"{name}\", \"check\": \"{check}\", \"states_explored\": {}, \"verified\": {}, \"full_space_configs\": {config_count}, \"sequential_states_per_sec\": {seq_rate:.0}, \"par1_states_per_sec\": {par1_rate:.0}, \"parN_states_per_sec\": {parn_rate:.0}, \"reduced_states_explored\": {}, \"reduced_states_per_sec\": {red_rate:.0}, \"states_ratio\": {:.3}, \"baseline_states_per_sec\": {}, \"seq_vs_baseline\": {}, \"parN_vs_seq\": {:.2}}}",
+            seq_sum.states_explored,
+            seq_sum.verified,
+            red_sum.states_explored,
+            seq_sum.states_explored as f64 / red_sum.states_explored as f64,
+            json_or_null(baseline),
+            baseline.map_or_else(
+                || "null".to_string(),
+                |b| format!("{:.2}", seq_rate / b)
+            ),
+            parn_rate / seq_rate,
+        );
+        eprintln!(
+            "{name:>10} {check:<17} states {:>9}  seq {:>9.0}/s  par{workers} {:>9.0}/s  reduced {:>9} (x{:.2})",
+            seq_sum.states_explored,
+            seq_rate,
+            parn_rate,
+            red_sum.states_explored,
+            seq_sum.states_explored as f64 / red_sum.states_explored as f64,
+        );
     }
     println!();
     println!("  ]");

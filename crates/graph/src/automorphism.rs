@@ -1,0 +1,232 @@
+//! Graph automorphism enumeration for the verifier's symmetry quotient.
+//!
+//! An automorphism of a graph `G` is a permutation `σ` of its vertices
+//! with `{u, v} ∈ E ⟺ {σ(u), σ(v)} ∈ E`. The PIF protocol is anonymous
+//! except for the distinguished root `r`, so the symmetries that carry
+//! a *rooted* instance onto itself are exactly the automorphisms fixing
+//! `r`: for any such `σ`, relabelling a configuration by `σ` yields a
+//! configuration with identical behaviour (same enabled guards, same
+//! rounds-to-normality, same \[PIF1\]/\[PIF2\] status). The exhaustive
+//! checker exploits this by canonicalizing every state key to the
+//! minimum over the group before the visited lookup (`pif-verify`'s
+//! `symmetry` module; DESIGN.md §16).
+//!
+//! [`stabilizer`] enumerates the full point stabilizer by backtracking
+//! over degree-compatible candidate images with incremental adjacency
+//! consistency checks. The instances the checker can represent are tiny
+//! (≤ 16 processors), so a plain refinement-free backtracker is more
+//! than fast enough; a group-size cap guards against the pathological
+//! families (stars, complete graphs) whose stabilizers are factorial.
+
+use crate::{Graph, ProcId};
+
+/// A vertex permutation stored as its image table: `perm[v]` is `σ(v)`.
+pub type Permutation = Vec<ProcId>;
+
+/// Upper bound on the number of automorphisms [`stabilizer`] returns.
+///
+/// Stabilizers of the symmetric families the checker actually meets are
+/// small (chains: ≤ 2, rings: ≤ 2, small grids/tori: ≤ 8, Petersen
+/// fixing a vertex: 12), but star and complete graphs have factorial
+/// stabilizers. Past this cap the search stops and returns only the
+/// identity — a smaller group is always sound for quotienting, just
+/// less effective.
+pub const MAX_GROUP: usize = 4096;
+
+/// Enumerates every automorphism of `graph` that fixes the vertex
+/// `fixed`, identity included.
+///
+/// The result always contains the identity permutation (first), and
+/// every returned permutation `σ` satisfies `σ(fixed) = fixed` and
+/// preserves adjacency exactly. If the stabilizer is larger than
+/// [`MAX_GROUP`], only the identity is returned (see [`MAX_GROUP`]).
+///
+/// # Panics
+///
+/// Panics if `fixed` is out of range for `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use pif_graph::{automorphism, generators, ProcId};
+///
+/// // A 5-ring fixing one vertex has exactly the identity and the
+/// // reflection through that vertex.
+/// let ring = generators::ring(5).unwrap();
+/// let group = automorphism::stabilizer(&ring, ProcId(0));
+/// assert_eq!(group.len(), 2);
+///
+/// // A chain fixed at one end is rigid: reflection moves the end.
+/// let chain = generators::chain(4).unwrap();
+/// assert_eq!(automorphism::stabilizer(&chain, ProcId(0)).len(), 1);
+/// ```
+pub fn stabilizer(graph: &Graph, fixed: ProcId) -> Vec<Permutation> {
+    let n = graph.len();
+    assert!(fixed.index() < n, "fixed vertex out of range");
+    let mut found: Vec<Permutation> = Vec::new();
+    // image[v] = current candidate for σ(v); usize::MAX = unassigned.
+    let mut image = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    image[fixed.index()] = fixed.index();
+    used[fixed.index()] = true;
+    extend(graph, 0, &mut image, &mut used, &mut found);
+    if found.len() > MAX_GROUP {
+        found.clear();
+        found.push((0..n).map(ProcId::from_index).collect());
+    }
+    // Identity first, then lexicographic: gives the checker a stable
+    // order and makes "group is trivial" a cheap `len() == 1` test.
+    found.sort();
+    found
+}
+
+/// Returns the order of the stabilizer of `fixed` (capped at
+/// [`MAX_GROUP`], past which it reports 1 — see [`stabilizer`]).
+pub fn stabilizer_order(graph: &Graph, fixed: ProcId) -> usize {
+    stabilizer(graph, fixed).len()
+}
+
+/// Checks that `perm` is an automorphism of `graph`: a bijection on the
+/// vertex set that maps the edge set onto itself.
+pub fn is_automorphism(graph: &Graph, perm: &[ProcId]) -> bool {
+    let n = graph.len();
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &img in perm {
+        if img.index() >= n || seen[img.index()] {
+            return false;
+        }
+        seen[img.index()] = true;
+    }
+    graph
+        .edges()
+        .all(|(u, v)| graph.has_edge(perm[u.index()], perm[v.index()]))
+}
+
+/// Backtracking extension: assign an image to the lowest unassigned
+/// vertex, trying only degree-compatible unused candidates and pruning
+/// on adjacency consistency with every already-assigned vertex.
+fn extend(
+    graph: &Graph,
+    v: usize,
+    image: &mut [usize],
+    used: &mut [bool],
+    found: &mut Vec<Permutation>,
+) {
+    // Stop expanding once the cap is blown; `stabilizer` falls back to
+    // the identity-only group.
+    if found.len() > MAX_GROUP {
+        return;
+    }
+    let n = image.len();
+    let Some(v) = (v..n).find(|&v| image[v] == usize::MAX) else {
+        found.push(image.iter().map(|&i| ProcId::from_index(i)).collect());
+        return;
+    };
+    let pv = ProcId::from_index(v);
+    for w in 0..n {
+        if used[w] || graph.degree(ProcId::from_index(w)) != graph.degree(pv) {
+            continue;
+        }
+        let pw = ProcId::from_index(w);
+        let consistent = (0..n).all(|u| {
+            image[u] == usize::MAX
+                || graph.has_edge(pv, ProcId::from_index(u))
+                    == graph.has_edge(pw, ProcId::from_index(image[u]))
+        });
+        if consistent {
+            image[v] = w;
+            used[w] = true;
+            extend(graph, v + 1, image, used, found);
+            image[v] = usize::MAX;
+            used[w] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn orders(g: &Graph) -> Vec<usize> {
+        g.procs().map(|p| stabilizer_order(g, p)).collect()
+    }
+
+    #[test]
+    fn every_returned_permutation_is_an_automorphism_fixing_the_point() {
+        for g in [
+            generators::chain(5).unwrap(),
+            generators::ring(6).unwrap(),
+            generators::grid(3, 2).unwrap(),
+            generators::petersen(),
+        ] {
+            for p in g.procs() {
+                let group = stabilizer(&g, p);
+                assert!(!group.is_empty());
+                // Identity present, all distinct, all fix p.
+                let id: Permutation = g.procs().collect();
+                assert!(group.contains(&id));
+                for (i, a) in group.iter().enumerate() {
+                    assert_eq!(a[p.index()], p);
+                    assert!(is_automorphism(&g, a), "{a:?} on {}", g.name());
+                    assert!(group[..i].iter().all(|b| b != a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_stabilizers_match_the_path_group() {
+        // Aut(P_n) = {id, reflection}. The reflection fixes no vertex
+        // of an even path and only the midpoint of an odd one.
+        assert_eq!(orders(&generators::chain(4).unwrap()), vec![1, 1, 1, 1]);
+        assert_eq!(orders(&generators::chain(5).unwrap()), vec![1, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn ring_stabilizer_is_the_reflection_through_the_fixed_vertex() {
+        // Aut(C_n) is dihedral of order 2n; fixing a vertex leaves the
+        // identity and one reflection.
+        for n in [3usize, 4, 5, 6] {
+            let g = generators::ring(n).unwrap();
+            assert_eq!(orders(&g), vec![2; n]);
+        }
+    }
+
+    #[test]
+    fn complete_and_star_stabilizers_are_factorial_until_the_cap() {
+        // K_5 fixing a vertex: S_4, order 24. Star fixing the center:
+        // S_{n-1}; star fixing a leaf: S_{n-2}.
+        let k5 = generators::complete(5).unwrap();
+        assert_eq!(stabilizer_order(&k5, ProcId(0)), 24);
+        let star = generators::star(5).unwrap();
+        let ord: Vec<usize> = orders(&star);
+        assert!(ord.contains(&24) || ord.contains(&6));
+        // K_9 fixing a vertex is S_8 = 40320 > MAX_GROUP: falls back to
+        // the identity-only group rather than materializing it.
+        let k9 = generators::complete(9).unwrap();
+        assert_eq!(stabilizer_order(&k9, ProcId(0)), 1);
+    }
+
+    #[test]
+    fn grid_3x2_has_the_expected_reflections() {
+        // A 3x2 grid's automorphism group is C2 x C2 (horizontal +
+        // vertical reflections). A corner is fixed by nothing but the
+        // identity; the middle-of-long-side vertices are fixed by the
+        // horizontal reflection.
+        let g = generators::grid(3, 2).unwrap();
+        let ord = orders(&g);
+        assert_eq!(ord.iter().filter(|&&o| o == 2).count(), 2);
+        assert_eq!(ord.iter().filter(|&&o| o == 1).count(), 4);
+    }
+
+    #[test]
+    fn petersen_vertex_stabilizer_has_order_12() {
+        // |Aut(Petersen)| = 120, vertex-transitive on 10 vertices.
+        let g = generators::petersen();
+        assert_eq!(orders(&g), vec![12; 10]);
+    }
+}

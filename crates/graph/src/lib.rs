@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod automorphism;
 mod builder;
 pub mod chordless;
 mod error;

@@ -28,15 +28,15 @@
 //! property the E13 ledger certifies.
 //!
 //! The legacy `NetSimulator` API (ad-hoc events, bool-ish effects,
-//! panicking construction) survives one release as a deprecated shim in
-//! [`legacy`]; see `DESIGN.md` §15 for the migration table.
+//! panicking construction) has been removed after its one-release
+//! deprecation window; see `DESIGN.md` §15 for the migration table from
+//! the old names to the typed [`Transport`] API.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod frame;
-pub mod legacy;
 mod link;
 mod stats;
 pub mod sync;

@@ -33,9 +33,30 @@ pub mod sync {
 use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::Mutex;
 
-/// Number of workers to use by default: the machine's available
-/// parallelism (falling back to 4 when it cannot be queried).
+/// Number of workers to use by default: the `PIF_WORKERS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism (falling back to 4 when it cannot be queried).
+///
+/// The override exists so benchmarks and CI can pin the worker count on
+/// machines whose reported parallelism differs from what the experiment
+/// wants to measure (e.g. forcing a parallel engine configuration on a
+/// single-core container, or vice versa).
 pub fn available_workers() -> usize {
+    if let Ok(v) = std::env::var("PIF_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    host_parallelism()
+}
+
+/// The machine's available parallelism as reported by the OS (falling
+/// back to 4 when it cannot be queried), ignoring any `PIF_WORKERS`
+/// override. Benchmarks report this alongside the worker count actually
+/// used so the two can be distinguished in the emitted JSON.
+pub fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
 }
 

@@ -5,6 +5,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use pif_analyze as analyze;
 pub use pif_apps as apps;
 pub use pif_baselines as baselines;
 pub use pif_bench as bench;

@@ -28,16 +28,38 @@
 //! # Execution engines
 //!
 //! Every check runs under a [`Checker`]: [`Checker::sequential`] is the
-//! classic single-threaded FIFO search over a monolithic hash set,
-//! [`Checker::with_workers`] the frontier-level parallel engine (scoped
-//! worker threads over a sharded visited table — see the [`frontier`]
-//! and [`visited`] modules and `DESIGN.md` §11). Both engines share the
-//! same expansion core and produce **bit-identical reports** — same
-//! `states_explored`, same verdicts, same retained violation examples —
-//! because the visited-set closure of a breadth-first search is
-//! independent of expansion order and violations are canonically sorted.
-//! The convenience methods on [`StateSpace`] delegate to
-//! [`Checker::auto`].
+//! classic single-threaded FIFO search, [`Checker::with_workers`] the
+//! frontier-level parallel engine (scoped worker threads — see the
+//! [`frontier`] module and `DESIGN.md` §11); both deduplicate through
+//! the sharded [`visited`] table. The engines share the same expansion
+//! core and produce **bit-identical reports** — same `states_explored`,
+//! same verdicts, same retained violation examples — because the
+//! visited-set closure of a breadth-first search is independent of
+//! expansion order and violations are canonically sorted. The
+//! convenience methods on [`StateSpace`] delegate to [`Checker::auto`].
+//!
+//! # Reductions
+//!
+//! [`Checker::with_reduction`] layers up to three state-space reductions
+//! over any engine (`DESIGN.md` §16): an interference-guided
+//! partial-order reduction (connected daemon selections only — sound
+//! because PIF's proven-complete interference relation is
+//! neighborhood-local), a symmetry quotient under root-fixing graph
+//! automorphisms (canonical orbit representatives before the visited
+//! lookup), and the compressed/spillable visited tiers configured
+//! through [`Checker::with_spill_budget`]. Reduced runs explore fewer
+//! product states but return **bit-identical reports**: a reduced
+//! search that finds any violation re-runs the exhaustive reference
+//! engine and returns its report verbatim, so verdicts, violation
+//! counts and retained examples never depend on the reduction — see
+//! [`Reduction`].
+//!
+//! For instances whose full product space is out of reach (n = 5 and
+//! beyond), [`StateSpace::check_snap_wave`] verifies \[PIF1\]/\[PIF2\]
+//! over every daemon interleaving reachable from the paper's *normal
+//! starting configuration* — the same safety property restricted to the
+//! wave region the protocol actually operates in, which stays tractable
+//! where the any-configuration product search does not.
 //!
 //! # Examples
 //!
@@ -62,9 +84,11 @@
 
 pub mod frontier;
 mod memo;
+mod por;
+mod symmetry;
 pub mod visited;
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::OnceLock;
 
 use memo::EnabledMemo;
@@ -72,7 +96,9 @@ use pif_core::protocol::{B_ACTION, B_CORRECTION, F_ACTION, F_CORRECTION};
 use pif_core::{Phase, PifProtocol, PifState};
 use pif_daemon::{ActionId, Protocol, View};
 use pif_graph::{Graph, ProcId};
-use visited::VisitedSet;
+use por::PorCtx;
+use symmetry::Quotient;
+use visited::{VisitedConfig, VisitedSet};
 
 /// Guard-mask bits of the two correction actions. A processor enables a
 /// correction action iff it is abnormal (the root's `B-correction` guard
@@ -263,10 +289,10 @@ impl StateSpace {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration count exceeds `2^40` or the network
-    /// has more than 16 processors (the overlay bitmaps are `u16`); this
-    /// checker is for `N ≤ 4`-ish instances. [`StateSpace::try_new`]
-    /// reports the same conditions as a [`VerifyError`] instead.
+    /// Panics if the configuration count exceeds `2^50` or the network
+    /// has more than 16 processors (the overlay bitmaps are `u16`).
+    /// [`StateSpace::try_new`] reports the same conditions as a
+    /// [`VerifyError`] instead.
     pub fn new(graph: Graph, protocol: PifProtocol) -> Self {
         Self::try_new(graph, protocol).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -278,9 +304,13 @@ impl StateSpace {
     ///
     /// [`VerifyError::NetworkTooLarge`] for more than 16 processors (the
     /// search overlays are `u16` bitmaps), [`VerifyError::SpaceTooLarge`]
-    /// when the configuration count would exceed `2^40`.
+    /// when the configuration count would exceed `2^50` — a bound the
+    /// *product* searches cannot exhaust, but the reachable-region wave
+    /// search ([`StateSpace::check_snap_wave`]) and the universal scans
+    /// do not need to; the packed search keys still fit `u128` with
+    /// room to spare (`50 + 33` bits).
     pub fn try_new(graph: Graph, protocol: PifProtocol) -> Result<Self, VerifyError> {
-        const LIMIT_LOG2: u32 = 40;
+        const LIMIT_LOG2: u32 = 50;
         if graph.len() > Self::MAX_PROCS {
             return Err(VerifyError::NetworkTooLarge { n: graph.len(), max: Self::MAX_PROCS });
         }
@@ -503,6 +533,69 @@ impl StateSpace {
     pub fn check_snap_safety(&self, track_acks: bool) -> SnapSafetyReport {
         Checker::auto().check_snap_safety(self, track_acks)
     }
+
+    /// Snap-safety search restricted to the wave region reachable from
+    /// the normal starting configuration. Delegates to
+    /// [`Checker::auto`]; see [`Checker::check_snap_wave`].
+    pub fn check_snap_wave(&self, track_acks: bool) -> SnapSafetyReport {
+        Checker::auto().check_snap_wave(self, track_acks)
+    }
+}
+
+/// Which state-space reductions a [`Checker`] applies (`DESIGN.md` §16).
+///
+/// Every variant is *verdict- and report-exact*: reductions only change
+/// how many product states the search visits (`states_explored`,
+/// `transitions`), never what it reports. Verification outcomes are
+/// preserved by construction — the partial-order reduction keeps every
+/// single-processor move and only drops composite daemon selections
+/// whose decomposition it retains, and the symmetry quotient identifies
+/// states with provably identical futures. Violation *reports* are
+/// preserved by a two-phase contract: a reduced search that finds any
+/// violation discards its partial sample, re-runs the exhaustive
+/// reference engine, and returns that report verbatim — so violation
+/// counts and retained minimal examples are bit-identical to
+/// [`Reduction::None`] on every instance, verified or not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Reduction {
+    /// Exhaustive reference: every daemon selection, no quotient.
+    None,
+    /// Interference-guided partial-order reduction: only daemon
+    /// selections whose selected processors induce a connected subgraph
+    /// (non-adjacent processors never interfere — the premise pinned to
+    /// `pif-analyze`'s interference matrix by `reduction_soundness.rs`).
+    Por,
+    /// Symmetry quotient: canonicalize every product state under the
+    /// network's root-fixing automorphism group before the visited
+    /// lookup. The identity reduction on asymmetric instances.
+    Symmetry,
+    /// Both reductions composed.
+    Full,
+}
+
+impl Reduction {
+    /// All variants, reference first — the differential harness iterates
+    /// these.
+    pub const ALL: [Reduction; 4] = [Reduction::None, Reduction::Por, Reduction::Symmetry, Reduction::Full];
+
+    fn por(self) -> bool {
+        matches!(self, Reduction::Por | Reduction::Full)
+    }
+
+    fn symmetry(self) -> bool {
+        matches!(self, Reduction::Symmetry | Reduction::Full)
+    }
+}
+
+impl std::fmt::Display for Reduction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Reduction::None => "none",
+            Reduction::Por => "por",
+            Reduction::Symmetry => "symmetry",
+            Reduction::Full => "full",
+        })
+    }
 }
 
 /// Which execution engine a [`Checker`] uses.
@@ -532,33 +625,60 @@ enum Mode {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Checker {
     mode: Mode,
+    reduction: Reduction,
+    /// Live-table byte budget for the visited set's spill tier.
+    spill_budget: Option<usize>,
 }
 
 impl Checker {
     /// The single-threaded reference engine.
     pub fn sequential() -> Self {
-        Checker { mode: Mode::Sequential }
+        Checker { mode: Mode::Sequential, reduction: Reduction::None, spill_budget: None }
     }
 
-    /// The parallel engine with one worker per available core.
+    /// The parallel engine with one worker per available core
+    /// (respecting the `PIF_WORKERS` override).
     pub fn parallel() -> Self {
-        Checker { mode: Mode::Parallel(pif_par::available_workers()) }
+        Self::with_workers(pif_par::available_workers())
     }
 
     /// The parallel engine with an explicit worker count (clamped to at
     /// least 1). `with_workers(1)` exercises the full parallel machinery
     /// on a single thread, which is useful for measuring its overhead.
     pub fn with_workers(workers: usize) -> Self {
-        Checker { mode: Mode::Parallel(workers.max(1)) }
+        Checker {
+            mode: Mode::Parallel(workers.max(1)),
+            reduction: Reduction::None,
+            spill_budget: None,
+        }
     }
 
     /// The default engine: parallel when more than one core is
-    /// available, sequential otherwise.
+    /// available (as reported by `pif_par::available_workers`, which
+    /// honors the `PIF_WORKERS` override), sequential otherwise.
     pub fn auto() -> Self {
         match pif_par::available_workers() {
             0 | 1 => Self::sequential(),
-            w => Checker { mode: Mode::Parallel(w) },
+            w => Self::with_workers(w),
         }
+    }
+
+    /// The same engine with a [`Reduction`] layered over it.
+    pub fn with_reduction(self, reduction: Reduction) -> Self {
+        Checker { reduction, ..self }
+    }
+
+    /// The same engine with a visited-table spill budget: live in-memory
+    /// tables are bounded to roughly `bytes` and overflow freezes into
+    /// sorted on-disk runs (see [`visited`]). Verdicts and reports are
+    /// unaffected; peak RSS is.
+    pub fn with_spill_budget(self, bytes: usize) -> Self {
+        Checker { spill_budget: Some(bytes), ..self }
+    }
+
+    /// The reduction this checker applies.
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
     }
 
     /// Number of worker threads this checker runs with.
@@ -566,6 +686,20 @@ impl Checker {
         match self.mode {
             Mode::Sequential => 1,
             Mode::Parallel(w) => w,
+        }
+    }
+
+    /// Builds the shared search context for `space` under this checker's
+    /// reduction settings. `memoized` is false for the wave search,
+    /// whose reachable region is far smaller than the full configuration
+    /// space the memo would be sized for.
+    fn ctx<'a>(&self, space: &'a StateSpace, memoized: bool) -> SearchCtx<'a> {
+        SearchCtx {
+            space,
+            memo: if memoized { space.memo(self.workers()) } else { None },
+            por: self.reduction.por().then(|| PorCtx::new(&space.graph)),
+            sym: if self.reduction.symmetry() { Quotient::build(space) } else { None },
+            spill_budget: self.spill_budget,
         }
     }
 
@@ -631,12 +765,18 @@ impl Checker {
     /// bits for the round counter).
     pub fn check_correction_bound(&self, space: &StateSpace, bound: u32) -> CorrectionBoundReport {
         assert!(bound < 128, "round bound must fit the packed encoding");
-        let ctx = SearchCtx { space, memo: space.memo(self.workers()) };
+        let ctx = self.ctx(space, true);
         let (seen_count, scratches) = match self.mode {
             Mode::Sequential => ctx.correction_sequential(bound),
             Mode::Parallel(w) => ctx.correction_parallel(bound, w),
         };
-        let violation_count = scratches.iter().map(|s| s.violation_count).sum();
+        let violation_count: u64 = scratches.iter().map(|s| s.violation_count).sum();
+        if violation_count != 0 && self.reduction != Reduction::None {
+            // Two-phase contract (see `Reduction`): the reduced pass
+            // settled the verdict; the reference pass reconstructs the
+            // canonical violation report.
+            return self.with_reduction(Reduction::None).check_correction_bound(space, bound);
+        }
         let violations = merge_retained(
             scratches.into_iter().flat_map(|s| s.corr_violations),
             CorrectionBoundReport::MAX_RETAINED_VIOLATIONS,
@@ -648,13 +788,47 @@ impl Checker {
     /// configuration space with the delivery overlay, branching over
     /// every daemon choice. See the crate docs.
     pub fn check_snap_safety(&self, space: &StateSpace, track_acks: bool) -> SnapSafetyReport {
-        let ctx = SearchCtx { space, memo: space.memo(self.workers()) };
+        let ctx = self.ctx(space, true);
         let (seen_count, scratches) = match self.mode {
             Mode::Sequential => ctx.snap_sequential(track_acks),
             Mode::Parallel(w) => ctx.snap_parallel(track_acks, w),
         };
+        self.snap_report(space, track_acks, seen_count, scratches, false)
+    }
+
+    /// Snap-safety search over the *wave region*: the product states
+    /// reachable from the paper's normal starting configuration (every
+    /// processor cleared to phase `C`) under every daemon interleaving.
+    /// Same \[PIF1\]/\[PIF2\] inspection as [`Self::check_snap_safety`],
+    /// restricted to the reachable region — which stays tractable on
+    /// instances (n ≥ 5) whose any-configuration product space does
+    /// not. See the crate docs.
+    pub fn check_snap_wave(&self, space: &StateSpace, track_acks: bool) -> SnapSafetyReport {
+        let ctx = self.ctx(space, false);
+        let (seen_count, scratches) = ctx.snap_wave(track_acks, self.workers());
+        self.snap_report(space, track_acks, seen_count, scratches, true)
+    }
+
+    /// Assembles a snap report from per-worker scratches, re-running the
+    /// reference engine first when a reduced pass found violations.
+    fn snap_report(
+        &self,
+        space: &StateSpace,
+        track_acks: bool,
+        seen_count: u64,
+        scratches: Vec<Scratch>,
+        wave: bool,
+    ) -> SnapSafetyReport {
+        let violation_count: u64 = scratches.iter().map(|s| s.violation_count).sum();
+        if violation_count != 0 && self.reduction != Reduction::None {
+            let reference = self.with_reduction(Reduction::None);
+            return if wave {
+                reference.check_snap_wave(space, track_acks)
+            } else {
+                reference.check_snap_safety(space, track_acks)
+            };
+        }
         let transitions = scratches.iter().map(|s| s.transitions).sum();
-        let violation_count = scratches.iter().map(|s| s.violation_count).sum();
         let violations = merge_retained(
             scratches.into_iter().flat_map(|s| s.snap_violations),
             SnapSafetyReport::MAX_RETAINED_VIOLATIONS,
@@ -706,14 +880,22 @@ type CorrItem = (u64, u16, u32);
 /// `(configuration, delivered bitmap, acked bitmap, wave-open flag)`.
 type SnapItem = (u64, u16, u16, bool);
 
+/// Overlay width of a packed correction key (pending mask + rounds).
+const CORR_OVERLAY_BITS: u32 = 23;
+/// Overlay width of a packed snap key (has + ack bitmaps + active flag).
+const SNAP_OVERLAY_BITS: u32 = 33;
+
 #[inline]
 fn pack_corr(cfg: u64, pending: u16, rounds: u32) -> u128 {
-    (u128::from(cfg) << 23) | (u128::from(pending) << 7) | u128::from(rounds)
+    (u128::from(cfg) << CORR_OVERLAY_BITS) | (u128::from(pending) << 7) | u128::from(rounds)
 }
 
 #[inline]
 fn pack_snap(cfg: u64, has: u16, ack: u16, active: bool) -> u128 {
-    (u128::from(cfg) << 33) | (u128::from(has) << 17) | (u128::from(ack) << 1) | u128::from(active)
+    (u128::from(cfg) << SNAP_OVERLAY_BITS)
+        | (u128::from(has) << 17)
+        | (u128::from(ack) << 1)
+        | u128::from(active)
 }
 
 /// Returns the position of the `k`-th (0-based) set bit of `mask`.
@@ -730,6 +912,9 @@ fn nth_set_bit(mut mask: u8, k: usize) -> usize {
 struct Scratch {
     states: Vec<PifState>,
     idxs: Vec<u32>,
+    /// Successor domain indices, maintained only under the symmetry
+    /// quotient (the canonicalizer maps indices, not states).
+    idxs2: Vec<u32>,
     next: Vec<PifState>,
     masks: Vec<u8>,
     procs: Vec<usize>,
@@ -747,6 +932,7 @@ impl Scratch {
         Scratch {
             states: Vec::with_capacity(n),
             idxs: Vec::with_capacity(n),
+            idxs2: Vec::with_capacity(n),
             next: Vec::with_capacity(n),
             masks: Vec::with_capacity(n),
             procs: Vec::with_capacity(n),
@@ -761,11 +947,31 @@ impl Scratch {
     }
 }
 
-/// Shared, read-only context of one search: the space plus the optional
-/// guard memo.
+/// Shared, read-only context of one search: the space, the optional
+/// guard memo, and the active reductions.
 struct SearchCtx<'a> {
     space: &'a StateSpace,
     memo: Option<&'a EnabledMemo>,
+    /// Partial-order reduction: skip disconnected daemon selections.
+    por: Option<PorCtx>,
+    /// Symmetry quotient: canonicalize keys before the visited lookup.
+    sym: Option<Quotient>,
+    /// Spill budget handed to the visited tables.
+    spill_budget: Option<usize>,
+}
+
+impl SearchCtx<'_> {
+    /// Visited-set configuration for this search: pre-sizing capped so
+    /// huge spaces don't pre-allocate, key width derived from the
+    /// largest packable key (`overlay_bits` above the configuration id).
+    fn visited_config(&self, overlay_bits: u32, expected: u64) -> VisitedConfig {
+        VisitedConfig {
+            expected: usize::try_from(expected.min(1 << 24)).unwrap_or(usize::MAX),
+            max_key: (u128::from(self.space.total) << overlay_bits) - 1,
+            spill_budget: self.spill_budget,
+            ..VisitedConfig::default()
+        }
+    }
 }
 
 impl SearchCtx<'_> {
@@ -831,6 +1037,7 @@ impl SearchCtx<'_> {
         let Scratch {
             states,
             idxs,
+            idxs2,
             next,
             masks,
             procs,
@@ -853,11 +1060,21 @@ impl SearchCtx<'_> {
         for combo in 1..combos {
             let mut c = combo;
             selection.clear();
+            let mut sel_mask = 0u16;
             for (k, &i) in procs.iter().enumerate() {
                 let choice = c % counts[k];
                 c /= counts[k];
                 if choice > 0 {
                     selection.push((i, ActionId(nth_set_bit(masks[i], choice - 1))));
+                    sel_mask |= 1 << i;
+                }
+            }
+            // Partial-order reduction: a disconnected selection
+            // decomposes into retained connected-component steps with
+            // the same endpoint (see `por`).
+            if let Some(por) = &self.por {
+                if selection.len() > 1 && !por.connected(sel_mask) {
+                    continue;
                 }
             }
             // Apply simultaneously against the old configuration,
@@ -865,6 +1082,9 @@ impl SearchCtx<'_> {
             // processors' domain indices.
             next.clear();
             next.extend_from_slice(states);
+            if self.sym.is_some() {
+                idxs2.clone_from(idxs);
+            }
             let mut cfg2 = cfg as i64;
             for &(i, a) in selection.iter() {
                 next[i] = space.protocol.execute(
@@ -872,6 +1092,9 @@ impl SearchCtx<'_> {
                     a,
                 );
                 let ni = space.shapes[i].index_of(&next[i]);
+                if self.sym.is_some() {
+                    idxs2[i] = ni;
+                }
                 cfg2 += (i64::from(ni) - i64::from(idxs[i])) * space.strides[i] as i64;
             }
             let cfg2 = cfg2 as u64;
@@ -905,7 +1128,12 @@ impl SearchCtx<'_> {
                 }
                 pending2 = next_enabled;
             }
-            emit(pack_corr(cfg2, pending2, rounds2), (cfg2, pending2, rounds2));
+            let item2 = (cfg2, pending2, rounds2);
+            let (key, item2) = match &self.sym {
+                Some(sym) => sym.canon_corr(idxs2, item2),
+                None => (pack_corr(cfg2, pending2, rounds2), item2),
+            };
+            emit(key, item2);
         }
     }
 
@@ -926,14 +1154,31 @@ impl SearchCtx<'_> {
             }
             self.pending_mask(cfg, states, acts)
         };
-        Some((pack_corr(cfg, pending, 0), (cfg, pending, 0)))
+        let item = (cfg, pending, 0);
+        let Some(sym) = &self.sym else {
+            return Some((pack_corr(cfg, pending, 0), item));
+        };
+        self.space.decode_indices_into(cfg, &mut sc.states, &mut sc.idxs);
+        Some(sym.canon_corr(&sc.idxs, item))
+    }
+
+    /// Generates the snap-safety seed for configuration `cfg`: an empty
+    /// overlay (no wave opened yet), canonicalized under symmetry.
+    fn snap_seed(&self, sc: &mut Scratch, cfg: u64) -> (u128, SnapItem) {
+        let item = (cfg, 0, 0, false);
+        match &self.sym {
+            Some(sym) => {
+                self.space.decode_indices_into(cfg, &mut sc.states, &mut sc.idxs);
+                sym.canon_snap(&sc.idxs, item)
+            }
+            None => (pack_snap(cfg, 0, 0, false), item),
+        }
     }
 
     fn correction_sequential(&self, bound: u32) -> (u64, Vec<Scratch>) {
         let n = self.space.graph.len();
         let mut sc = Scratch::new(n);
-        let mut seen: HashSet<u128> =
-            HashSet::with_capacity(usize::try_from(self.space.total.min(1 << 22)).unwrap_or(0));
+        let seen = VisitedSet::with_config(self.visited_config(CORR_OVERLAY_BITS, self.space.total));
         let mut queue: VecDeque<CorrItem> = VecDeque::new();
         for cfg in 0..self.space.total {
             if let Some((key, item)) = self.correction_seed(&mut sc, cfg) {
@@ -955,7 +1200,7 @@ impl SearchCtx<'_> {
     fn correction_parallel(&self, bound: u32, workers: usize) -> (u64, Vec<Scratch>) {
         let n = self.space.graph.len();
         let mut scratches: Vec<Scratch> = (0..workers).map(|_| Scratch::new(n)).collect();
-        let seen = VisitedSet::with_capacity(usize::try_from(self.space.total).unwrap_or(0));
+        let seen = VisitedSet::with_config(self.visited_config(CORR_OVERLAY_BITS, self.space.total));
         let seeds: Vec<CorrItem> = frontier::seed_scan(self.space.total, &mut scratches, |sc, cfg, out| {
             if let Some((key, item)) = self.correction_seed(sc, cfg) {
                 if seen.insert(key) {
@@ -991,6 +1236,7 @@ impl SearchCtx<'_> {
         let Scratch {
             states,
             idxs,
+            idxs2,
             next,
             masks,
             procs,
@@ -1017,11 +1263,21 @@ impl SearchCtx<'_> {
         for combo in 1..combos {
             let mut c = combo;
             selection.clear();
+            let mut sel_mask = 0u16;
             for (k, &i) in procs.iter().enumerate() {
                 let choice = c % counts[k];
                 c /= counts[k];
                 if choice > 0 {
                     selection.push((i, ActionId(nth_set_bit(masks[i], choice - 1))));
+                    sel_mask |= 1 << i;
+                }
+            }
+            // Partial-order reduction: skip disconnected composite
+            // selections (see `por`); only retained combos count as
+            // explored transitions.
+            if let Some(por) = &self.por {
+                if selection.len() > 1 && !por.connected(sel_mask) {
+                    continue;
                 }
             }
             *transitions += 1;
@@ -1029,6 +1285,9 @@ impl SearchCtx<'_> {
             // Apply simultaneously against the old configuration.
             next.clear();
             next.extend_from_slice(states);
+            if self.sym.is_some() {
+                idxs2.clone_from(idxs);
+            }
             let mut cfg2 = cfg as i64;
             for &(i, a) in selection.iter() {
                 next[i] = space.protocol.execute(
@@ -1036,6 +1295,9 @@ impl SearchCtx<'_> {
                     a,
                 );
                 let ni = space.shapes[i].index_of(&next[i]);
+                if self.sym.is_some() {
+                    idxs2[i] = ni;
+                }
                 cfg2 += (i64::from(ni) - i64::from(idxs[i])) * space.strides[i] as i64;
             }
             let cfg2 = cfg2 as u64;
@@ -1102,21 +1364,29 @@ impl SearchCtx<'_> {
             if !track_acks {
                 ack2 = 0;
             }
-            emit(pack_snap(cfg2, has2, ack2, active2), (cfg2, has2, ack2, active2));
+            let item2 = (cfg2, has2, ack2, active2);
+            let (key, item2) = match &self.sym {
+                Some(sym) => sym.canon_snap(idxs2, item2),
+                None => (pack_snap(cfg2, has2, ack2, active2), item2),
+            };
+            emit(key, item2);
         }
     }
 
     fn snap_sequential(&self, track_acks: bool) -> (u64, Vec<Scratch>) {
         let n = self.space.graph.len();
         let mut sc = Scratch::new(n);
-        let mut seen: HashSet<u128> =
-            HashSet::with_capacity(usize::try_from(self.space.total.min(1 << 22)).unwrap_or(0));
+        let seen = VisitedSet::with_config(
+            self.visited_config(SNAP_OVERLAY_BITS, self.space.total.saturating_mul(2)),
+        );
         let mut queue: VecDeque<SnapItem> = VecDeque::new();
         // Every configuration is a legitimate starting point, with an
         // empty overlay (no wave opened yet).
         for cfg in 0..self.space.total {
-            seen.insert(pack_snap(cfg, 0, 0, false));
-            queue.push_back((cfg, 0, 0, false));
+            let (key, item) = self.snap_seed(&mut sc, cfg);
+            if seen.insert(key) {
+                queue.push_back(item);
+            }
         }
         while let Some(item) = queue.pop_front() {
             self.expand_snap(&mut sc, item, track_acks, |key, succ| {
@@ -1131,14 +1401,42 @@ impl SearchCtx<'_> {
     fn snap_parallel(&self, track_acks: bool, workers: usize) -> (u64, Vec<Scratch>) {
         let n = self.space.graph.len();
         let mut scratches: Vec<Scratch> = (0..workers).map(|_| Scratch::new(n)).collect();
-        let seen = VisitedSet::with_capacity(
-            usize::try_from(self.space.total).unwrap_or(0).saturating_mul(2),
+        let seen = VisitedSet::with_config(
+            self.visited_config(SNAP_OVERLAY_BITS, self.space.total.saturating_mul(2)),
         );
-        let seeds: Vec<SnapItem> = frontier::seed_scan(self.space.total, &mut scratches, |_, cfg, out| {
-            seen.insert(pack_snap(cfg, 0, 0, false));
-            out.push((cfg, 0, 0, false));
+        let seeds: Vec<SnapItem> = frontier::seed_scan(self.space.total, &mut scratches, |sc, cfg, out| {
+            let (key, item) = self.snap_seed(sc, cfg);
+            if seen.insert(key) {
+                out.push(item);
+            }
         });
         frontier::search(seeds, &mut scratches, |sc, item, out| {
+            self.expand_snap(sc, *item, track_acks, |key, succ| {
+                if seen.insert(key) {
+                    out.push(succ);
+                }
+            });
+        });
+        (seen.len() as u64, scratches)
+    }
+
+    /// Reachable-wave search: the snap transition system restricted to
+    /// what is reachable from the single clean starting configuration
+    /// (`pif_core::initial::normal_starting`), instead of seeding every
+    /// configuration. The reachable slice is minuscule compared to the
+    /// product space, which is what lets n = 5 instances complete.
+    fn snap_wave(&self, track_acks: bool, workers: usize) -> (u64, Vec<Scratch>) {
+        let n = self.space.graph.len();
+        let workers = workers.max(1);
+        let mut scratches: Vec<Scratch> = (0..workers).map(|_| Scratch::new(n)).collect();
+        // The reachable slice is tiny relative to `total`; start small
+        // and let the table grow (or spill) as needed.
+        let seen = VisitedSet::with_config(self.visited_config(SNAP_OVERLAY_BITS, 1 << 16));
+        let start = pif_core::initial::normal_starting(&self.space.graph);
+        let cfg0 = self.space.encode(&start);
+        let (key, item) = self.snap_seed(&mut scratches[0], cfg0);
+        seen.insert(key);
+        frontier::search(vec![item], &mut scratches, |sc, item, out| {
             self.expand_snap(sc, *item, track_acks, |key, succ| {
                 if seen.insert(key) {
                     out.push(succ);
@@ -1327,5 +1625,95 @@ mod tests {
         let s = space(3);
         let report = s.check_snap_safety(true);
         assert!(report.verified(), "violations: {:#?}", report.violations);
+    }
+
+    #[test]
+    fn reductions_preserve_verdicts_chain2() {
+        let s = space(2);
+        for red in Reduction::ALL {
+            let c = Checker::sequential().with_reduction(red);
+            assert!(c.check_correction_bound(&s, 6).verified(), "{red}");
+            assert!(c.check_snap_safety(&s, true).verified(), "{red}");
+        }
+    }
+
+    #[test]
+    fn symmetry_quotient_shrinks_the_middle_root_chain() {
+        // chain(3) rooted at the middle has the reflection symmetry; the
+        // quotient must explore strictly fewer product states while
+        // reaching the same verdict.
+        let g = generators::chain(3).unwrap();
+        let p = PifProtocol::new(ProcId(1), &g);
+        let s = StateSpace::new(g, p);
+        let full = Checker::sequential().check_snap_safety(&s, false);
+        let sym = Checker::sequential()
+            .with_reduction(Reduction::Symmetry)
+            .check_snap_safety(&s, false);
+        assert!(full.verified() && sym.verified());
+        assert!(
+            sym.states_explored < full.states_explored,
+            "quotient must shrink the space: {} vs {}",
+            sym.states_explored,
+            full.states_explored
+        );
+    }
+
+    #[test]
+    fn por_prunes_transitions_without_changing_the_verdict() {
+        // chain(3): the {0, 2} daemon selections are disconnected, so the
+        // POR engine must take strictly fewer transitions.
+        let s = space(3);
+        let full = Checker::sequential().check_snap_wave(&s, true);
+        let por = Checker::sequential()
+            .with_reduction(Reduction::Por)
+            .check_snap_wave(&s, true);
+        assert!(full.verified() && por.verified());
+        assert!(
+            por.transitions < full.transitions,
+            "POR must prune composite selections: {} vs {}",
+            por.transitions,
+            full.transitions
+        );
+    }
+
+    #[test]
+    fn wave_check_is_a_tiny_slice_of_the_product() {
+        let s = space(4);
+        let report = s.check_snap_wave(true);
+        assert!(report.verified(), "violations: {:#?}", report.violations);
+        assert!(report.acks_tracked);
+        assert!(
+            report.states_explored < s.config_count() / 1000,
+            "the reachable wave slice must be minuscule: {} of {}",
+            report.states_explored,
+            s.config_count()
+        );
+    }
+
+    #[test]
+    fn wave_check_finds_the_fok_wave_bug() {
+        // Sensitivity: ablating the Fok wave lets feedback outrun the
+        // broadcast *from the clean start* — the wave slice must catch
+        // it. (The leaf-guard bug, by contrast, needs a corrupted start
+        // and is out of the wave check's scope by design; the full
+        // product search covers it.)
+        let g = generators::chain(3).unwrap();
+        let p = PifProtocol::new(ProcId(0), &g)
+            .with_features(Features { fok_wave: false, ..Features::paper() });
+        let s = StateSpace::new(g, p);
+        let report = s.check_snap_wave(true);
+        assert!(!report.verified(), "the ablated protocol must violate on the wave slice");
+    }
+
+    #[test]
+    fn spill_budget_preserves_wave_reports() {
+        // A spill budget small enough to force frozen runs must not
+        // change a single reported number.
+        let s = space(3);
+        let plain = Checker::sequential().check_snap_wave(&s, true);
+        let spilled = Checker::sequential().with_spill_budget(1 << 14).check_snap_wave(&s, true);
+        assert_eq!(plain.states_explored, spilled.states_explored);
+        assert_eq!(plain.transitions, spilled.transitions);
+        assert_eq!(plain.violation_count, spilled.violation_count);
     }
 }

@@ -20,21 +20,42 @@ trap 'rm -rf "$trace_dir"' EXIT
 cmp "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
 ./target/release/pif-trace diff "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
 
-# Verify-throughput smoke: exp_verify_throughput runs the sequential and
-# parallel engines on chain2/chain3/triangle, asserts their reports are
-# identical (it aborts on any divergence) and records states/sec. The
-# emitted JSON must parse and carry the required fields.
+# Verify-throughput smoke: exp_verify_throughput runs the sequential,
+# parallel and reduced engines on the product instances plus the
+# reachable-wave n=5 instances, asserts their verdicts are identical (it
+# aborts on any divergence) and records states/sec. The emitted JSON
+# must parse and carry the required fields, including the reduction
+# columns.
 ./target/release/exp_verify_throughput > "$trace_dir/verify_throughput.json"
 for field in benchmark unit workers host_parallelism results; do
     jq -e ".$field" "$trace_dir/verify_throughput.json" > /dev/null
 done
-jq -e '.results | length == 6' "$trace_dir/verify_throughput.json" > /dev/null
+jq -e '.results | length == 12' "$trace_dir/verify_throughput.json" > /dev/null
 jq -e '[.results[] | select(.verified and .states_explored > 0
-        and .sequential_states_per_sec > 0 and .parN_states_per_sec > 0)]
-       | length == 6' "$trace_dir/verify_throughput.json" > /dev/null
+        and .sequential_states_per_sec > 0 and .parN_states_per_sec > 0
+        and .reduced_states_explored > 0 and .reduced_states_per_sec > 0
+        and .states_ratio >= 1 and .full_space_configs > 0)]
+       | length == 12' "$trace_dir/verify_throughput.json" > /dev/null
+# The n=5 / grid wave rows must be present, exploring a minuscule slice
+# of a full space the product search could never enumerate.
+jq -e '[.results[] | select(.check == "snap_wave")] | length == 4' \
+    "$trace_dir/verify_throughput.json" > /dev/null
+jq -e '[.results[] | select(.check == "snap_wave"
+        and .full_space_configs > (1000 * .states_explored))] | length == 4' \
+    "$trace_dir/verify_throughput.json" > /dev/null
+# The symmetry quotient must bite on the symmetric product instances.
+jq -e '[.results[] | select(.instance == "chain3-mid" or .instance == "triangle")
+        | select(.check != "snap_wave" and .states_ratio > 1.5)] | length == 4' \
+    "$trace_dir/verify_throughput.json" > /dev/null
 # The committed benchmark artifact must parse with the same shape.
-jq -e '.benchmark == "verify_throughput" and (.results | length == 6)' \
+jq -e '.benchmark == "verify_throughput" and (.results | length == 12)' \
     BENCH_verify_throughput.json > /dev/null
+
+# Reduction differential: every reduction (none/por/symmetry/full) must
+# return verdicts bit-identical to the exhaustive reference on all
+# tier-1 instances (product + wave) and still flag the leaf-guard
+# mutant. The binary exits non-zero on any divergence.
+./target/release/verify_exhaustive --differential-reductions
 
 # Static analyzer: the paper's PIF and all three baselines must certify
 # clean (exit 0, zero diagnostics) on the small-topology suite, and the
@@ -192,3 +213,9 @@ cargo clippy -p pif-analyze -p pif-net -p pif-par -p pif-serve -p pif-soa --no-d
 # searches must run to completion with paper-matching verdicts — the
 # binary exits non-zero on any Theorem 1 or snap-safety violation.
 timeout 2700 ./target/release/verify_exhaustive --tier2
+
+# Spill-tier demonstration: the chain(4) correction-bound product search
+# under a deliberately small visited-table budget must stay under a
+# 2 GiB RSS high-water mark (the binary asserts VmHWM <= the ceiling and
+# that the verdict is unchanged).
+timeout 900 ./target/release/verify_exhaustive --spill-demo --rss-ceiling-mb 2048

@@ -10,7 +10,7 @@
 
 use pif_suite::core::{Features, PifProtocol};
 use pif_suite::graph::{generators, Graph, ProcId};
-use pif_suite::verify::{Checker, StateSpace};
+use pif_suite::verify::{Checker, Reduction, StateSpace};
 
 /// Worker counts to pit against the sequential engine. Deliberately
 /// includes 1 (parallel machinery, no concurrency) and more workers
@@ -93,6 +93,111 @@ fn violating_instance_reports_are_identical() {
             format!("{:?}", par.violations),
             "w={workers}"
         );
+    }
+}
+
+#[test]
+fn reduced_engines_reach_the_same_verdicts() {
+    // Every reduction, on every tier-1 instance, sequential and
+    // parallel: the verdict, the violation count, and the retained
+    // violation examples must be bit-identical to the exhaustive
+    // sequential reference. (`states_explored` may legitimately shrink —
+    // that is the point of the reductions — but never grow.)
+    for (name, g, root) in instances() {
+        let protocol = PifProtocol::new(root, &g);
+        let space = StateSpace::new(g, protocol);
+        let bound = 3 * u32::from(space.protocol().l_max()) + 3;
+        let ref_corr = Checker::sequential().check_correction_bound(&space, bound);
+        let ref_snap = Checker::sequential().check_snap_safety(&space, true);
+        for red in Reduction::ALL {
+            for checker in [
+                Checker::sequential().with_reduction(red),
+                Checker::with_workers(2).with_reduction(red),
+            ] {
+                let corr = checker.check_correction_bound(&space, bound);
+                assert_eq!(ref_corr.violation_count, corr.violation_count, "{name} {red}");
+                assert_eq!(ref_corr.violations, corr.violations, "{name} {red}");
+                assert!(
+                    corr.states_explored <= ref_corr.states_explored,
+                    "{name} {red}: a reduction must never grow the space"
+                );
+                let snap = checker.check_snap_safety(&space, true);
+                assert_eq!(ref_snap.violation_count, snap.violation_count, "{name} {red}");
+                assert_eq!(
+                    format!("{:?}", ref_snap.violations),
+                    format!("{:?}", snap.violations),
+                    "{name} {red}"
+                );
+                assert!(snap.states_explored <= ref_snap.states_explored, "{name} {red}");
+                assert!(ref_corr.verified() && ref_snap.verified(), "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn symmetry_is_bit_identical_on_rigid_instances() {
+    // chain(3) rooted at an end has only the trivial root-fixing
+    // automorphism: the Symmetry engine must not merely agree — it must
+    // explore the exact same states and transitions as None.
+    let g = generators::chain(3).unwrap();
+    let protocol = PifProtocol::new(ProcId(0), &g);
+    let space = StateSpace::new(g, protocol);
+    let none = Checker::sequential().check_snap_safety(&space, true);
+    let sym = Checker::sequential()
+        .with_reduction(Reduction::Symmetry)
+        .check_snap_safety(&space, true);
+    assert_eq!(none.states_explored, sym.states_explored);
+    assert_eq!(none.transitions, sym.transitions);
+    assert_eq!(none.violation_count, sym.violation_count);
+}
+
+#[test]
+fn reduced_engines_flag_the_ablated_protocol() {
+    // When there ARE violations the two-phase fallback reruns the
+    // exhaustive engine, so every reduction must return the reference
+    // report verbatim — counts, retained examples, even the exploration
+    // numbers.
+    let g = generators::chain(3).unwrap();
+    let protocol = PifProtocol::new(ProcId(0), &g)
+        .with_features(Features { leaf_guard: false, ..Features::paper() });
+    let space = StateSpace::new(g, protocol);
+    let reference = Checker::sequential().check_snap_safety(&space, false);
+    assert!(!reference.verified(), "ablation must violate");
+    for red in Reduction::ALL {
+        let r = Checker::sequential().with_reduction(red).check_snap_safety(&space, false);
+        assert!(!r.verified(), "{red}: reduction must not hide the bug");
+        assert_eq!(reference.states_explored, r.states_explored, "{red}");
+        assert_eq!(reference.transitions, r.transitions, "{red}");
+        assert_eq!(reference.violation_count, r.violation_count, "{red}");
+        assert_eq!(
+            format!("{:?}", reference.violations),
+            format!("{:?}", r.violations),
+            "{red}"
+        );
+    }
+}
+
+#[test]
+fn wave_reports_are_identical_across_engines() {
+    // The reachable-wave check: sequential vs parallel must be
+    // bit-identical, and every reduction must preserve the verdict.
+    for (name, g, root) in instances() {
+        let protocol = PifProtocol::new(root, &g);
+        let space = StateSpace::new(g, protocol);
+        let seq = Checker::sequential().check_snap_wave(&space, true);
+        assert!(seq.verified(), "{name}: clean-start waves must be safe");
+        for workers in WORKER_COUNTS {
+            let par = Checker::with_workers(workers).check_snap_wave(&space, true);
+            assert_eq!(seq.states_explored, par.states_explored, "{name} w={workers}");
+            assert_eq!(seq.transitions, par.transitions, "{name} w={workers}");
+            assert_eq!(seq.violation_count, par.violation_count, "{name} w={workers}");
+        }
+        for red in Reduction::ALL {
+            let r = Checker::sequential().with_reduction(red).check_snap_wave(&space, true);
+            assert_eq!(seq.violation_count, r.violation_count, "{name} {red}");
+            assert!(r.states_explored <= seq.states_explored, "{name} {red}");
+        }
     }
 }
 
