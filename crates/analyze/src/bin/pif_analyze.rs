@@ -13,7 +13,10 @@
 
 use std::process::ExitCode;
 
-use pif_analyze::mutants::{NeighborWriteSpecPif, UnderReadEcho, WidenedFeedbackPif};
+use pif_analyze::mutants::{
+    CyclicCorrectionPif, DisabledFokPif, NeighborWriteSpecPif, OverclaimedInterferencePif,
+    SkipCleaningPif, UnderReadEcho, WidenedCorrectionPif,
+};
 use pif_analyze::{analyze, report, Analysis, Code};
 use pif_baselines::echo::EchoProtocol;
 use pif_baselines::ss_pif::SsPifProtocol;
@@ -92,13 +95,15 @@ fn run_clean(protocol: &str, topo: &str) -> Analysis {
     }
 }
 
-/// The mutant suite: each entry must produce its expected code.
+/// The mutant suite: each entry must produce its expected code — and
+/// *only* that code (each mutant is a negative control for exactly one
+/// check).
 fn run_mutants() -> Vec<(Analysis, Code)> {
     let g = topology("chain2");
     let root = ProcId(0);
     vec![
         (
-            analyze(&WidenedFeedbackPif::new(root, &g), &g, "pif-widened-feedback", "chain2"),
+            analyze(&WidenedCorrectionPif::new(root, &g), &g, "pif-widened-correction", "chain2"),
             Code::AN002,
         ),
         (
@@ -113,6 +118,27 @@ fn run_mutants() -> Vec<(Analysis, Code)> {
         (
             analyze(&UnderReadEcho::new(root, 7), &g, "echo-under-read", "chain2"),
             Code::AN003,
+        ),
+        (
+            analyze(&SkipCleaningPif::new(root, &g), &g, "pif-skip-cleaning", "chain2"),
+            Code::AN008,
+        ),
+        (
+            analyze(&CyclicCorrectionPif::new(root, &g), &g, "pif-cyclic-correction", "chain2"),
+            Code::AN009,
+        ),
+        (
+            analyze(
+                &OverclaimedInterferencePif::new(root, &g),
+                &g,
+                "pif-overclaimed-interference",
+                "chain2",
+            ),
+            Code::AN010,
+        ),
+        (
+            analyze(&DisabledFokPif::new(root, &g), &g, "pif-disabled-fok", "chain2"),
+            Code::AN011,
         ),
     ]
 }
@@ -142,9 +168,22 @@ fn main() -> ExitCode {
         let mut ok = true;
         for (a, expected) in &runs {
             let hit = a.diagnostics.iter().any(|d| d.code == *expected);
+            let exclusive = a.diagnostics.iter().all(|d| d.code == *expected);
             if !hit {
                 eprintln!(
                     "pif-analyze: mutant `{}` did not trigger {expected}",
+                    a.protocol
+                );
+                ok = false;
+            } else if !exclusive {
+                let stray: Vec<&str> = a
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.code != *expected)
+                    .map(|d| d.code.as_str())
+                    .collect();
+                eprintln!(
+                    "pif-analyze: mutant `{}` fired stray codes {stray:?} besides {expected}",
                     a.protocol
                 );
                 ok = false;

@@ -12,16 +12,13 @@ use pif_baselines::echo::{EchoPhase, EchoProtocol, EchoState};
 use pif_baselines::ss_pif::{SsPhase, SsPifProtocol, SsState};
 use pif_baselines::tree_pif::{TreePhase, TreePifProtocol, TreeState};
 use pif_core::{Phase, PifProtocol, PifState};
+use pif_daemon::Protocol;
 use pif_graph::{Graph, ProcId};
 use pif_verify::StateSpace;
 
-use crate::DomainModel;
+use crate::{DomainModel, InterferenceEdge, InterferenceGraph};
 
 impl DomainModel for PifProtocol {
-    fn registers(&self) -> &'static [&'static str] {
-        &["phase", "par", "level", "count", "fok"]
-    }
-
     fn domain(&self, graph: &Graph, p: ProcId) -> Vec<PifState> {
         // Reuse the exhaustive checker's per-processor domain enumeration
         // so the analyzer and the reachability checker agree on what "any
@@ -48,13 +45,31 @@ impl DomainModel for PifProtocol {
     fn analysis_root(&self) -> Option<ProcId> {
         Some(self.root())
     }
+
+    fn advertised_interference(&self) -> InterferenceGraph {
+        // The paper's premise, declared by hand rather than compiled from
+        // specs: every guard evaluates `Normal(p)` over the full closed
+        // neighborhood, so *every* ordered action pair may interfere
+        // across a link — the neighbor-complete 7×7 matrix. AN010 proves
+        // the spec-derived graph contains it (shape-only edges, no
+        // register annotations).
+        let edges = self
+            .action_names()
+            .iter()
+            .flat_map(|&src| {
+                self.action_names().iter().map(move |&dst| InterferenceEdge {
+                    src: src.to_string(),
+                    dst: dst.to_string(),
+                    across_link: true,
+                    registers: Vec::new(),
+                })
+            })
+            .collect();
+        InterferenceGraph { edges }
+    }
 }
 
 impl DomainModel for EchoProtocol {
-    fn registers(&self) -> &'static [&'static str] {
-        &["phase", "par", "val"]
-    }
-
     fn domain(&self, graph: &Graph, p: ProcId) -> Vec<EchoState> {
         let pars: Vec<ProcId> = if graph.neighbor_slice(p).is_empty() {
             vec![p]
@@ -90,10 +105,6 @@ impl DomainModel for EchoProtocol {
 }
 
 impl DomainModel for SsPifProtocol {
-    fn registers(&self) -> &'static [&'static str] {
-        &["phase", "par", "dist", "val"]
-    }
-
     fn domain(&self, graph: &Graph, p: ProcId) -> Vec<SsState> {
         let root = self.root();
         // Mirrors `random_config`: the root's parent register is itself
@@ -138,10 +149,6 @@ impl DomainModel for SsPifProtocol {
 }
 
 impl DomainModel for TreePifProtocol {
-    fn registers(&self) -> &'static [&'static str] {
-        &["phase", "val"]
-    }
-
     fn domain(&self, _graph: &Graph, _p: ProcId) -> Vec<TreeState> {
         let mut out = Vec::new();
         for phase in [TreePhase::B, TreePhase::F, TreePhase::C] {

@@ -34,6 +34,27 @@
 //! * **AN007 applicability** — actions declared root-only (or
 //!   non-root-only) are never enabled at the wrong processor class.
 //!
+//! On top of the per-view checks, an abstract-interpretation layer
+//! ([`abstraction`]) extracts a finite abstract transition system per
+//! processor role (root / internal / leaf) over (phase × small-domain
+//! predicate registers × local normality) and checks:
+//!
+//! * **AN008 phase-order conformance** — every abstract wave transition
+//!   follows the paper's B→F→C cycle, and phase B is never re-entered
+//!   except from C (broadcast never restarts without passing cleaning);
+//! * **AN009 correction convergence** — every abnormal abstract state
+//!   outside the clean phase has a correction exit, the correction
+//!   relation is cycle-free, and a synthesized lexicographic ranking
+//!   function ([`ranking`]) bounds every correction path by the
+//!   Theorem 1 window (one correction per non-clean phase);
+//! * **AN010 derived-interference completeness** — the interference
+//!   graph compiled from the specs contains the hand-declared paper
+//!   premise *and* everything differential pairwise probing observes
+//!   ([`mod@derive`]), so the `interference_radius` that `pif-verify`'s
+//!   partial-order reduction consumes is machine-checked end-to-end;
+//! * **AN011 dead-action detection** — every action is enabled in at
+//!   least one reachable abstract state.
+//!
 //! The analyzer also derives the **action-interference graph** (which
 //! actions' writes can change which actions' guards, at the writer's own
 //! processor and across one link) — the static justification for the
@@ -64,9 +85,22 @@ use std::fmt;
 use pif_daemon::{ActionId, PhaseTag, Protocol, ReadProbe, Scope, View};
 use pif_graph::{Graph, ProcId};
 
+// The file is named after the concept (the issue tracker and DESIGN.md
+// call it the abstract layer); `abstract` is a reserved word, so the
+// module takes the pronounceable name.
+#[path = "abstract.rs"]
+pub mod abstraction;
+pub mod derive;
 pub mod domains;
 pub mod mutants;
+pub mod ranking;
 pub mod report;
+
+pub use pif_daemon::{InterferenceEdge, InterferenceGraph};
+
+use abstraction::RoleSummary;
+use derive::DerivedSummary;
+use ranking::RankingCertificate;
 
 /// A protocol whose per-processor register state ranges over a small
 /// enumerable domain, making exhaustive view enumeration possible.
@@ -78,8 +112,12 @@ pub mod report;
 /// in that order (two states are "equal on register `r`" iff their
 /// projections agree at `r`'s index).
 pub trait DomainModel: Protocol {
-    /// Register names, in projection order.
-    fn registers(&self) -> &'static [&'static str];
+    /// Register names, in projection order. The default delegates to
+    /// [`Protocol::register_names`], so protocols that declare their
+    /// spec surface once need not repeat it here.
+    fn registers(&self) -> &'static [&'static str] {
+        Protocol::register_names(self)
+    }
 
     /// All in-domain register states of processor `p` on `graph`.
     /// Value-carrying registers may be collapsed to two representative
@@ -95,6 +133,20 @@ pub trait DomainModel: Protocol {
     /// by the AN007 applicability check).
     fn analysis_root(&self) -> Option<ProcId> {
         None
+    }
+
+    /// The interference premise the protocol *advertises* to consumers —
+    /// the hand-declared shape the partial-order reduction's soundness
+    /// argument cites (for PIF, the paper's 7×7 neighbor-complete
+    /// matrix). AN010 checks the spec-derived graph contains every
+    /// advertised edge, so an advertised premise can never claim more
+    /// than the machine derivation supports. The default advertises
+    /// exactly the derived graph, which is trivially consistent.
+    fn advertised_interference(&self) -> InterferenceGraph
+    where
+        Self: Sized,
+    {
+        InterferenceGraph::from_protocol(self, self.registers())
     }
 }
 
@@ -117,6 +169,16 @@ pub enum Code {
     AN006,
     /// Action enabled at a processor class it does not apply to.
     AN007,
+    /// Abstract transition violates the B→F→C phase order.
+    AN008,
+    /// Correction relation does not converge (cycle, stuck abnormal
+    /// state, or path longer than the Theorem 1 window).
+    AN009,
+    /// Derived interference graph misses an advertised or observed
+    /// dependence (the POR premise would be unsound).
+    AN010,
+    /// Action never enabled in any reachable abstract state.
+    AN011,
 }
 
 impl Code {
@@ -130,6 +192,10 @@ impl Code {
             Code::AN005 => "AN005",
             Code::AN006 => "AN006",
             Code::AN007 => "AN007",
+            Code::AN008 => "AN008",
+            Code::AN009 => "AN009",
+            Code::AN010 => "AN010",
+            Code::AN011 => "AN011",
         }
     }
 
@@ -143,6 +209,10 @@ impl Code {
             Code::AN005 => "correction enabled in normal view",
             Code::AN006 => "non-local read",
             Code::AN007 => "applicability violation",
+            Code::AN008 => "phase-order violation",
+            Code::AN009 => "correction non-convergence",
+            Code::AN010 => "incomplete derived interference",
+            Code::AN011 => "dead action",
         }
     }
 }
@@ -174,119 +244,6 @@ pub struct Diagnostic {
     pub message: String,
 }
 
-/// One edge of the action-interference graph: executing `src` (writing
-/// `registers`) can change `dst`'s guard verdict — at the same processor
-/// (`across_link = false`) or at a neighbor (`across_link = true`).
-#[derive(Clone, Debug)]
-pub struct InterferenceEdge {
-    /// Writer action name.
-    pub src: String,
-    /// Reader action name.
-    pub dst: String,
-    /// Whether the interference crosses a link (writer's own registers
-    /// read as *neighbor* registers by `dst`).
-    pub across_link: bool,
-    /// The registers carrying the interference.
-    pub registers: Vec<String>,
-}
-
-/// The action-interference graph derived from the declared specs.
-#[derive(Clone, Debug, Default)]
-pub struct InterferenceGraph {
-    /// All non-empty edges.
-    pub edges: Vec<InterferenceEdge>,
-}
-
-impl InterferenceGraph {
-    /// Derives the graph from a protocol's declared specs: edge
-    /// `src → dst` iff `writes(src) ∩ reads(dst) ≠ ∅`, intersected
-    /// separately for own-scope reads (same processor) and
-    /// neighbor-scope reads (across one link).
-    pub fn from_protocol<P: Protocol>(protocol: &P, registers: &[&'static str]) -> Self {
-        let names = protocol.action_names();
-        let mut edges = Vec::new();
-        for (si, &src) in names.iter().enumerate() {
-            let sspec = protocol.action_spec(ActionId(si));
-            let written: Vec<&str> = registers
-                .iter()
-                .copied()
-                .filter(|r| sspec.writes_reg(Scope::Own, r))
-                .collect();
-            for (di, &dst) in names.iter().enumerate() {
-                let dspec = protocol.action_spec(ActionId(di));
-                for (scope, across) in [(Scope::Own, false), (Scope::Neighbor, true)] {
-                    let regs: Vec<String> = written
-                        .iter()
-                        .filter(|r| dspec.reads_reg(scope, r))
-                        .map(std::string::ToString::to_string)
-                        .collect();
-                    if !regs.is_empty() {
-                        edges.push(InterferenceEdge {
-                            src: src.to_string(),
-                            dst: dst.to_string(),
-                            across_link: across,
-                            registers: regs,
-                        });
-                    }
-                }
-            }
-        }
-        InterferenceGraph { edges }
-    }
-
-    /// Whether `src → dst` interference exists with the given linkage.
-    pub fn has_edge(&self, src: &str, dst: &str, across_link: bool) -> bool {
-        self.edges
-            .iter()
-            .any(|e| e.src == src && e.dst == dst && e.across_link == across_link)
-    }
-
-    /// Number of distinct cross-link edges.
-    pub fn cross_link_edge_count(&self) -> usize {
-        self.edges.iter().filter(|e| e.across_link).count()
-    }
-
-    /// Whether every ordered action pair interferes across a link — the
-    /// "paper shape" for the PIF family, where every guard evaluates
-    /// `Normal(p)` over the full neighbor state and every action writes
-    /// at least one register that some guard reads.
-    pub fn neighbor_complete(&self, action_count: usize) -> bool {
-        self.cross_link_edge_count() == action_count * action_count
-    }
-
-    /// The interference radius: the maximum link distance across which
-    /// any declared action pair interferes. `0` when every edge is
-    /// own-register, `1` when some edge crosses a link.
-    ///
-    /// The spec language itself only has own-scope and neighbor-scope
-    /// reads, so the radius is structurally bounded by 1 — this is the
-    /// premise of the exhaustive checker's partial-order reduction
-    /// (`pif-verify`): two processors at graph distance ≥ 2 can neither
-    /// disable, enable, nor change the effect of one another's moves,
-    /// so a daemon selection decomposes across graph components of the
-    /// selected set. The workspace test `reduction_soundness.rs` pins
-    /// the reduction to this query.
-    pub fn interference_radius(&self) -> usize {
-        usize::from(self.edges.iter().any(|e| e.across_link))
-    }
-
-    /// Whether executing `src` at a writer cannot interfere with `dst`
-    /// evaluated at a reader `distance` links away — neither the guard
-    /// verdict nor the effect of `dst` can change.
-    ///
-    /// `distance = 0` asks about the writer's own processor, `1` about a
-    /// direct neighbor; anything beyond the [interference
-    /// radius](Self::interference_radius) is independent by
-    /// construction.
-    pub fn independent_at(&self, src: &str, dst: &str, distance: usize) -> bool {
-        match distance {
-            0 => !self.has_edge(src, dst, false),
-            1 => !self.has_edge(src, dst, true),
-            _ => true,
-        }
-    }
-}
-
 /// The result of analyzing one protocol instance on one topology.
 #[derive(Clone, Debug)]
 pub struct Analysis {
@@ -304,8 +261,14 @@ pub struct Analysis {
     pub probes: u64,
     /// Findings (empty = certified on this instance).
     pub diagnostics: Vec<Diagnostic>,
-    /// The declared action-interference graph.
+    /// The spec-derived action-interference graph.
     pub interference: InterferenceGraph,
+    /// Per-role abstract machine sizes (AN008/AN009/AN011 substrate).
+    pub abstract_roles: Vec<RoleSummary>,
+    /// The synthesized correction-convergence certificate (AN009).
+    pub ranking: RankingCertificate,
+    /// Derived-vs-observed interference summary (AN010).
+    pub derived: DerivedSummary,
 }
 
 impl Analysis {
@@ -751,7 +714,24 @@ pub fn analyze<P: DomainModel>(
     for p in graph.procs() {
         ctx.check_proc(p);
     }
+    let mut diagnostics = ctx.diagnostics;
+
+    // Abstract-interpretation layer: phase machine per processor role.
+    let machine = abstraction::build(protocol, graph);
+    let (abstract_roles, ranking) = match &machine {
+        Some(m) => {
+            abstraction::check_phase_order(m, protocol, &mut diagnostics);
+            abstraction::check_dead_actions(m, protocol, &mut diagnostics);
+            let cert = ranking::check_convergence(m, protocol, &mut diagnostics);
+            (m.summaries(), cert)
+        }
+        None => (Vec::new(), RankingCertificate::unavailable()),
+    };
+
+    // Derived interference: specs vs advertised premise vs probing.
     let interference = InterferenceGraph::from_protocol(protocol, protocol.registers());
+    let derived = derive::derive_and_check(protocol, graph, &interference, &mut diagnostics);
+
     Analysis {
         protocol: protocol_name.to_string(),
         topology: topology.to_string(),
@@ -759,8 +739,11 @@ pub fn analyze<P: DomainModel>(
         actions: names.iter().map(std::string::ToString::to_string).collect(),
         views_checked: ctx.views_checked,
         probes: ctx.probes,
-        diagnostics: ctx.diagnostics,
+        diagnostics,
         interference,
+        abstract_roles,
+        ranking,
+        derived,
     }
 }
 

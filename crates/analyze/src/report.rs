@@ -27,11 +27,25 @@
 //!       "interference": {"edges": [
 //!         {"src": "B-action", "dst": "F-action",
 //!          "across_link": true, "registers": ["phase"]}
-//!       ]}
+//!       ]},
+//!       "abstract": [
+//!         {"role": "root", "states": 12, "edges": 30}
+//!       ],
+//!       "ranking": {"components": ["phase-order"], "max_depth": 1,
+//!                   "abnormal_states": 4, "window": 2,
+//!                   "certified": true},
+//!       "derived": {"derived_edges": 77, "derived_radius": 1,
+//!                   "advertised_edges": 49, "observed_edges": 40,
+//!                   "observed_radius": 1, "pair_probes": 120000,
+//!                   "sampled": false}
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! Version history: v1 carried `diagnostics` + `interference`; v2 (this
+//! PR) adds the `abstract`, `ranking` and `derived` sections for the
+//! AN008–AN011 checks.
 
 use std::fmt::Write as _;
 
@@ -40,7 +54,7 @@ use pif_daemon::json::write_string;
 use crate::{Analysis, Diagnostic, InterferenceEdge};
 
 /// Report format version, bumped on any shape change.
-pub const REPORT_VERSION: u64 = 1;
+pub const REPORT_VERSION: u64 = 2;
 
 fn push_str_field(out: &mut String, key: &str, value: &str) {
     write_string(key, out);
@@ -126,7 +140,43 @@ fn render_run(a: &Analysis, out: &mut String) {
         }
         render_edge(e, out);
     }
-    out.push_str("]}}");
+    out.push_str("]},");
+    out.push_str("\"abstract\":[");
+    for (i, r) in a.abstract_roles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_str_field(out, "role", r.role.name());
+        let _ = write!(out, ",\"states\":{},\"edges\":{}}}", r.states, r.edges);
+    }
+    out.push_str("],");
+    out.push_str("\"ranking\":{\"components\":[");
+    for (i, c) in a.ranking.components.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(c, out);
+    }
+    let _ = write!(
+        out,
+        "],\"max_depth\":{},\"abnormal_states\":{},\"window\":{},\"certified\":{}}},",
+        a.ranking.max_depth, a.ranking.abnormal_states, a.ranking.window, a.ranking.certified
+    );
+    let _ = write!(
+        out,
+        "\"derived\":{{\"derived_edges\":{},\"derived_radius\":{},\
+         \"advertised_edges\":{},\"observed_edges\":{},\"observed_radius\":{},\
+         \"pair_probes\":{},\"sampled\":{}}}",
+        a.derived.derived_edges,
+        a.derived.derived_radius,
+        a.derived.advertised_edges,
+        a.derived.observed.len(),
+        a.derived.observed_radius,
+        a.derived.pair_probes,
+        a.derived.sampled
+    );
+    out.push('}');
 }
 
 /// Renders the full report document for a batch of analyses.
@@ -185,6 +235,23 @@ mod tests {
             assert!(e.get("dst").and_then(|j| j.as_str()).is_some());
             assert!(e.get("across_link").is_some());
         }
+        let roles = run.get("abstract").and_then(|j| j.as_array()).unwrap();
+        assert!(!roles.is_empty(), "PIF must yield at least the root role machine");
+        for r in roles {
+            assert!(r.get("role").and_then(|j| j.as_str()).is_some());
+            assert!(r.get("states").and_then(pif_daemon::json::Json::as_u64).unwrap() > 0);
+        }
+        let ranking = run.get("ranking").unwrap();
+        assert_eq!(ranking.get("certified").and_then(pif_daemon::json::Json::as_bool), Some(true));
+        assert!(ranking.get("components").and_then(|j| j.as_array()).map(<[_]>::len).unwrap() > 0);
+        let derived = run.get("derived").unwrap();
+        assert_eq!(
+            derived.get("derived_radius").and_then(pif_daemon::json::Json::as_u64),
+            Some(1)
+        );
+        assert!(
+            derived.get("pair_probes").and_then(pif_daemon::json::Json::as_u64).unwrap() > 0
+        );
     }
 
     #[test]

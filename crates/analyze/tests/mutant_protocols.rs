@@ -1,36 +1,41 @@
 //! Negative tests: the analyzer must flag each mutant protocol with the
 //! diagnostic code matching its injected bug class — and with *only*
 //! findings attributable to that bug, so a diagnostic is evidence, not
-//! noise.
+//! noise. One mutant per check: AN001–AN003 for the per-view stage,
+//! AN008–AN011 for the abstract/derived stage.
 
-use pif_analyze::mutants::{NeighborWriteSpecPif, UnderReadEcho, WidenedFeedbackPif};
+use pif_analyze::mutants::{
+    CyclicCorrectionPif, DisabledFokPif, NeighborWriteSpecPif, OverclaimedInterferencePif,
+    SkipCleaningPif, UnderReadEcho, WidenedCorrectionPif,
+};
 use pif_analyze::{analyze, report, Code};
 use pif_graph::{generators, ProcId};
 
 #[test]
-fn widened_feedback_breaks_priority_determinism() {
+fn widened_correction_breaks_priority_determinism() {
     let g = generators::chain(2).unwrap();
-    let mutant = WidenedFeedbackPif::new(ProcId(0), &g);
-    let a = analyze(&mutant, &g, "pif-widened-feedback", "chain2");
+    let mutant = WidenedCorrectionPif::new(ProcId(0), &g);
+    let a = analyze(&mutant, &g, "pif-widened-correction", "chain2");
     let an002: Vec<_> =
         a.diagnostics.iter().filter(|d| d.code == Code::AN002).collect();
     assert!(
         !an002.is_empty(),
-        "widened F-guard must be caught as guard nondeterminism: {:#?}",
+        "widened F-correction guard must be caught as guard nondeterminism: {:#?}",
         a.diagnostics
     );
-    // The witness pair is the broadened F-action against a same-class
-    // (priority 1) wave action.
+    // The witness pair is the broadened F-correction against the
+    // same-class (priority 0) B-correction.
     for d in &an002 {
         let pair = (d.action.as_str(), d.other_action.as_deref());
         assert!(
-            pair.0 == "F-action" || pair.1 == Some("F-action"),
+            pair.0 == "F-correction" || pair.1 == Some("F-correction"),
             "unexpected AN002 pair: {pair:?}"
         );
         assert!(d.witness.is_some(), "AN002 must carry a witness view");
     }
     // The mutation widens one guard; it does not misdeclare writes or
-    // reads, so no other code may fire.
+    // reads, and the extra correction edge B → C is phase-legal and only
+    // shortens correction paths, so no other code may fire.
     assert!(
         a.diagnostics.iter().all(|d| d.code == Code::AN002),
         "only AN002 expected: {:#?}",
@@ -70,7 +75,14 @@ fn under_read_echo_is_caught_by_differential_probing() {
             "the hidden read is the parent's value register"
         );
     }
-    assert!(a.diagnostics.iter().all(|d| d.code == Code::AN003));
+    // AN010's observed-coverage stage must NOT echo the same root cause:
+    // once AN003 establishes the declarations are unsound, the derived
+    // graph is known-bad for that same reason and stays un-reported.
+    assert!(
+        a.diagnostics.iter().all(|d| d.code == Code::AN003),
+        "only AN003 expected: {:#?}",
+        a.diagnostics
+    );
 }
 
 #[test]
@@ -104,15 +116,96 @@ fn hidden_read_shrinks_the_declared_interference_graph() {
 }
 
 #[test]
+fn skip_cleaning_breaks_phase_order() {
+    let g = generators::chain(2).unwrap();
+    let mutant = SkipCleaningPif::new(ProcId(0), &g);
+    let a = analyze(&mutant, &g, "pif-skip-cleaning", "chain2");
+    let an008: Vec<_> =
+        a.diagnostics.iter().filter(|d| d.code == Code::AN008).collect();
+    assert!(
+        !an008.is_empty(),
+        "re-broadcasting C-action must violate the B→F→C order: {:#?}",
+        a.diagnostics
+    );
+    for d in &an008 {
+        assert_eq!(d.action, "C-action");
+        assert!(d.witness.is_some(), "AN008 must carry the abstract edge");
+    }
+    // Only the statement changed — guards, specs and corrections are the
+    // paper's, so no other code may fire.
+    assert!(
+        a.diagnostics.iter().all(|d| d.code == Code::AN008),
+        "only AN008 expected: {:#?}",
+        a.diagnostics
+    );
+}
+
+#[test]
+fn cyclic_correction_defeats_the_ranking_certificate() {
+    let g = generators::chain(2).unwrap();
+    let mutant = CyclicCorrectionPif::new(ProcId(0), &g);
+    let a = analyze(&mutant, &g, "pif-cyclic-correction", "chain2");
+    let an009: Vec<_> =
+        a.diagnostics.iter().filter(|d| d.code == Code::AN009).collect();
+    assert!(
+        !an009.is_empty(),
+        "fok-flipping correction must be caught as a correction livelock: {:#?}",
+        a.diagnostics
+    );
+    assert!(
+        an009.iter().any(|d| d.message.contains("cycle")),
+        "the finding must name the cycle: {an009:#?}"
+    );
+    // The flipped register is declared, the B → B edge is phase-legal
+    // for a correction, and guards are untouched: only AN009 may fire.
+    assert!(
+        a.diagnostics.iter().all(|d| d.code == Code::AN009),
+        "only AN009 expected: {:#?}",
+        a.diagnostics
+    );
+    assert!(!a.ranking.certified, "no ranking certificate may be synthesized");
+}
+
+#[test]
+fn overclaimed_premise_fails_derived_containment() {
+    let g = generators::chain(2).unwrap();
+    let mutant = OverclaimedInterferencePif::new(ProcId(0), &g);
+    let a = analyze(&mutant, &g, "pif-overclaimed-interference", "chain2");
+    let an010: Vec<_> =
+        a.diagnostics.iter().filter(|d| d.code == Code::AN010).collect();
+    assert_eq!(an010.len(), 1, "diagnostics: {:#?}", a.diagnostics);
+    let d = an010[0];
+    assert_eq!(d.action, "Fok-action");
+    assert_eq!(d.other_action.as_deref(), Some("B-action"));
+    // The runnable protocol is the unmodified PIF — the lie lives purely
+    // in the advertised premise, so nothing else may fire.
+    assert!(a.diagnostics.iter().all(|d| d.code == Code::AN010));
+}
+
+#[test]
+fn disabled_fok_is_reported_as_dead_action() {
+    let g = generators::chain(2).unwrap();
+    let mutant = DisabledFokPif::new(ProcId(0), &g);
+    let a = analyze(&mutant, &g, "pif-disabled-fok", "chain2");
+    let an011: Vec<_> =
+        a.diagnostics.iter().filter(|d| d.code == Code::AN011).collect();
+    assert_eq!(an011.len(), 1, "diagnostics: {:#?}", a.diagnostics);
+    assert_eq!(an011[0].action, "Fok-action");
+    // An action that never fires cannot trip any dynamic check: only
+    // AN011 may fire.
+    assert!(a.diagnostics.iter().all(|d| d.code == Code::AN011));
+}
+
+#[test]
 fn mutant_report_carries_codes_and_exit_contract() {
     // The gate consumes this exact shape: every mutant run must carry at
     // least one diagnostic, with its code string in the report.
     let g = generators::chain(2).unwrap();
     let runs = vec![
         analyze(
-            &WidenedFeedbackPif::new(ProcId(0), &g),
+            &WidenedCorrectionPif::new(ProcId(0), &g),
             &g,
-            "pif-widened-feedback",
+            "pif-widened-correction",
             "chain2",
         ),
         analyze(
@@ -122,13 +215,27 @@ fn mutant_report_carries_codes_and_exit_contract() {
             "chain2",
         ),
         analyze(&UnderReadEcho::new(ProcId(0), 7), &g, "echo-under-read", "chain2"),
+        analyze(&SkipCleaningPif::new(ProcId(0), &g), &g, "pif-skip-cleaning", "chain2"),
+        analyze(
+            &CyclicCorrectionPif::new(ProcId(0), &g),
+            &g,
+            "pif-cyclic-correction",
+            "chain2",
+        ),
+        analyze(
+            &OverclaimedInterferencePif::new(ProcId(0), &g),
+            &g,
+            "pif-overclaimed-interference",
+            "chain2",
+        ),
+        analyze(&DisabledFokPif::new(ProcId(0), &g), &g, "pif-disabled-fok", "chain2"),
     ];
     let text = report::render(&runs);
     let doc = pif_daemon::json::parse(&text).unwrap();
-    assert!(doc.get("total_diagnostics").and_then(pif_daemon::json::Json::as_u64).unwrap() >= 3);
-    let expected = ["AN002", "AN001", "AN003"];
+    assert!(doc.get("total_diagnostics").and_then(pif_daemon::json::Json::as_u64).unwrap() >= 7);
+    let expected = ["AN002", "AN001", "AN003", "AN008", "AN009", "AN010", "AN011"];
     let parsed_runs = doc.get("runs").and_then(|j| j.as_array()).unwrap();
-    assert_eq!(parsed_runs.len(), 3);
+    assert_eq!(parsed_runs.len(), 7);
     for (run, code) in parsed_runs.iter().zip(expected) {
         let diags = run.get("diagnostics").and_then(|j| j.as_array()).unwrap();
         assert!(

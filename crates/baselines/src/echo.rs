@@ -221,6 +221,10 @@ impl Protocol for EchoProtocol {
     fn has_action_specs(&self) -> bool {
         true
     }
+
+    fn register_names(&self) -> &'static [&'static str] {
+        &["phase", "par", "val"]
+    }
 }
 
 /// Sentinel broadcast value used by the [`FirstWave`] harness.

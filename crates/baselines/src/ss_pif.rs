@@ -299,6 +299,10 @@ impl Protocol for SsPifProtocol {
         true
     }
 
+    fn register_names(&self) -> &'static [&'static str] {
+        &["phase", "par", "dist", "val"]
+    }
+
     fn locally_normal(&self, view: View<'_, SsState>) -> bool {
         // Normal = neither correction can fire: BFS-consistent, and not a
         // broadcast stranded over a non-broadcasting parent.

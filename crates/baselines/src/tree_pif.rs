@@ -222,6 +222,10 @@ impl Protocol for TreePifProtocol {
         true
     }
 
+    fn register_names(&self) -> &'static [&'static str] {
+        &["phase", "val"]
+    }
+
     fn locally_normal(&self, view: View<'_, TreeState>) -> bool {
         // Abnormal exactly when the correction guard's phase pattern holds:
         // a non-root broadcasts over a parent that no longer does.

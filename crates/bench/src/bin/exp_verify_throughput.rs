@@ -117,7 +117,13 @@ fn json_or_null(v: Option<f64>) -> String {
 }
 
 fn main() {
-    let mut workers = pif_par::available_workers();
+    // A benchmark run under a misread PIF_WORKERS pin would report the
+    // wrong engine configuration — refuse rather than fall back.
+    let mut workers = match pif_par::workers_override() {
+        Ok(Some(n)) => n,
+        Ok(None) => pif_par::host_parallelism(),
+        Err(e) => panic!("invalid worker pin: {e}"),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {

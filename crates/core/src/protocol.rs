@@ -641,6 +641,10 @@ impl Protocol for PifProtocol {
         true
     }
 
+    fn register_names(&self) -> &'static [&'static str] {
+        &["phase", "par", "level", "count", "fok"]
+    }
+
     fn locally_normal(&self, view: View<'_, PifState>) -> bool {
         self.normal(view)
     }

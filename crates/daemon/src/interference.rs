@@ -1,0 +1,142 @@
+//! The action-interference graph compiled from declared action specs.
+//!
+//! An edge `src → dst` means: executing `src` (writing some of its
+//! declared own registers) can change `dst`'s guard verdict or effect —
+//! at the writer's own processor (`across_link = false`) or at a direct
+//! neighbor (`across_link = true`). The graph is derived purely from
+//! [`ActionSpec`](crate::ActionSpec) read/write declarations, so it
+//! over-approximates real interference exactly when the declarations
+//! over-approximate real reads and writes — the contract `pif-analyze`
+//! enforces (AN001/AN003) and cross-checks against differential probing
+//! (AN010).
+//!
+//! The graph lives in this crate (rather than `pif-analyze`, which
+//! re-exports it) because `pif-verify`'s partial-order reduction consumes
+//! [`InterferenceGraph::interference_radius`] as its soundness premise,
+//! and the analyzer depends on the verifier for domain enumeration — the
+//! premise has to sit below both.
+
+use crate::protocol::{ActionId, Protocol, Scope};
+
+/// One edge of the action-interference graph: executing `src` (writing
+/// `registers`) can change `dst`'s guard verdict — at the same processor
+/// (`across_link = false`) or at a neighbor (`across_link = true`).
+#[derive(Clone, Debug)]
+pub struct InterferenceEdge {
+    /// Writer action name.
+    pub src: String,
+    /// Reader action name.
+    pub dst: String,
+    /// Whether the interference crosses a link (writer's own registers
+    /// read as *neighbor* registers by `dst`).
+    pub across_link: bool,
+    /// The registers carrying the interference (may be empty for
+    /// shape-only hand declarations).
+    pub registers: Vec<String>,
+}
+
+/// The action-interference graph derived from the declared specs.
+#[derive(Clone, Debug, Default)]
+pub struct InterferenceGraph {
+    /// All non-empty edges.
+    pub edges: Vec<InterferenceEdge>,
+}
+
+impl InterferenceGraph {
+    /// Derives the graph from a protocol's declared specs: edge
+    /// `src → dst` iff `writes(src) ∩ reads(dst) ≠ ∅`, intersected
+    /// separately for own-scope reads (same processor) and
+    /// neighbor-scope reads (across one link).
+    pub fn from_protocol<P: Protocol>(protocol: &P, registers: &[&'static str]) -> Self {
+        let names = protocol.action_names();
+        let mut edges = Vec::new();
+        for (si, &src) in names.iter().enumerate() {
+            let sspec = protocol.action_spec(ActionId(si));
+            let written: Vec<&str> = registers
+                .iter()
+                .copied()
+                .filter(|r| sspec.writes_reg(Scope::Own, r))
+                .collect();
+            for (di, &dst) in names.iter().enumerate() {
+                let dspec = protocol.action_spec(ActionId(di));
+                for (scope, across) in [(Scope::Own, false), (Scope::Neighbor, true)] {
+                    let regs: Vec<String> = written
+                        .iter()
+                        .filter(|r| dspec.reads_reg(scope, r))
+                        .map(std::string::ToString::to_string)
+                        .collect();
+                    if !regs.is_empty() {
+                        edges.push(InterferenceEdge {
+                            src: src.to_string(),
+                            dst: dst.to_string(),
+                            across_link: across,
+                            registers: regs,
+                        });
+                    }
+                }
+            }
+        }
+        InterferenceGraph { edges }
+    }
+
+    /// Whether `src → dst` interference exists with the given linkage.
+    pub fn has_edge(&self, src: &str, dst: &str, across_link: bool) -> bool {
+        self.edges
+            .iter()
+            .any(|e| e.src == src && e.dst == dst && e.across_link == across_link)
+    }
+
+    /// Whether every edge of `other` is present here (same endpoints and
+    /// linkage; the register annotations are not compared). This is the
+    /// over-approximation order AN010 checks the derived graph against
+    /// the hand-declared premise with.
+    pub fn contains(&self, other: &InterferenceGraph) -> bool {
+        other.edges.iter().all(|e| self.has_edge(&e.src, &e.dst, e.across_link))
+    }
+
+    /// Number of distinct cross-link edges.
+    pub fn cross_link_edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.across_link).count()
+    }
+
+    /// Whether every ordered action pair interferes across a link — the
+    /// "paper shape" for the PIF family, where every guard evaluates
+    /// `Normal(p)` over the full neighbor state and every action writes
+    /// at least one register that some guard reads.
+    pub fn neighbor_complete(&self, action_count: usize) -> bool {
+        self.cross_link_edge_count() == action_count * action_count
+    }
+
+    /// The interference radius: the maximum link distance across which
+    /// any declared action pair interferes. `0` when every edge is
+    /// own-register, `1` when some edge crosses a link.
+    ///
+    /// The spec language itself only has own-scope and neighbor-scope
+    /// reads, so the radius is structurally bounded by 1 — this is the
+    /// premise of the exhaustive checker's partial-order reduction
+    /// (`pif-verify`): two processors at graph distance ≥ 2 can neither
+    /// disable, enable, nor change the effect of one another's moves,
+    /// so a daemon selection decomposes across graph components of the
+    /// selected set. `pif-verify` recomputes this query per protocol
+    /// (`por_premise_radius`) and the workspace test
+    /// `reduction_soundness.rs` pins the reduction to it end-to-end.
+    pub fn interference_radius(&self) -> usize {
+        usize::from(self.edges.iter().any(|e| e.across_link))
+    }
+
+    /// Whether executing `src` at a writer cannot interfere with `dst`
+    /// evaluated at a reader `distance` links away — neither the guard
+    /// verdict nor the effect of `dst` can change.
+    ///
+    /// `distance = 0` asks about the writer's own processor, `1` about a
+    /// direct neighbor; anything beyond the [interference
+    /// radius](Self::interference_radius) is independent by
+    /// construction.
+    pub fn independent_at(&self, src: &str, dst: &str, distance: usize) -> bool {
+        match distance {
+            0 => !self.has_edge(src, dst, false),
+            1 => !self.has_edge(src, dst, true),
+            _ => true,
+        }
+    }
+}

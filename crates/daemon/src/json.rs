@@ -37,6 +37,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a `u64`, if this is a [`Json::Num`] with an integer
     /// lexeme in range.
     pub fn as_u64(&self) -> Option<u64> {

@@ -80,6 +80,7 @@ mod bits;
 pub mod daemons;
 mod error;
 pub mod fairness;
+pub mod interference;
 pub mod json;
 pub mod metrics;
 mod protocol;
@@ -89,6 +90,7 @@ pub mod trace;
 pub mod trace_io;
 
 pub use error::SimError;
+pub use interference::{InterferenceEdge, InterferenceGraph};
 pub use metrics::{LatencyHistogram, MetricsObserver, PhaseReport};
 pub use protocol::{
     ActionId, ActionSpec, Applicability, EnabledSet, PhaseTag, Protocol, ReadProbe, RegAccess,

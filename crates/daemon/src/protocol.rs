@@ -380,6 +380,17 @@ pub trait Protocol {
         false
     }
 
+    /// Names of the per-processor registers the action specs refer to,
+    /// in a stable order. Protocols opting into static analysis override
+    /// this alongside [`Protocol::action_spec`]; consumers treat the
+    /// default (empty) as "spec surface unavailable" — e.g. `pif-verify`
+    /// falls back to the conservative radius-1 interference premise
+    /// instead of deriving one from an empty
+    /// [`InterferenceGraph`](crate::InterferenceGraph).
+    fn register_names(&self) -> &'static [&'static str] {
+        &[]
+    }
+
     /// Whether the viewed processor is *locally normal*: no correction
     /// action should be enabled for it. The analyzer checks correction
     /// quiescence against this predicate — every view satisfying it must

@@ -224,6 +224,72 @@ mod tests {
     }
 
     #[test]
+    fn single_node_graph_has_exactly_the_identity() {
+        // The degenerate instance: one processor, no edges. The
+        // stabilizer must still be well-formed — identity-only, not
+        // empty — so the symmetry quotient degrades to a no-op instead
+        // of dividing by zero permutations.
+        let g = Graph::from_edges(1, std::iter::empty()).unwrap();
+        let group = stabilizer(&g, ProcId(0));
+        assert_eq!(group, vec![vec![ProcId(0)]]);
+        assert!(is_automorphism(&g, &group[0]));
+    }
+
+    #[test]
+    fn star_fixed_at_the_center_keeps_the_full_leaf_symmetry() {
+        // Fixing the center of a star constrains nothing else: the
+        // stabilizer is the full symmetric group on the leaves. This is
+        // the best case for the quotient (and the case that motivates
+        // MAX_GROUP — one more leaf multiplies the group by its count).
+        let g = generators::star(6).unwrap();
+        let center = g.procs().find(|&p| g.degree(p) == 5).unwrap();
+        let group = stabilizer(&g, center);
+        assert_eq!(group.len(), 120, "S_5 on the leaves");
+        for a in &group {
+            assert_eq!(a[center.index()], center);
+            assert!(is_automorphism(&g, a));
+        }
+        // Fixing a leaf instead also pins the center (degrees differ),
+        // leaving S_4 on the remaining leaves.
+        let leaf = g.procs().find(|&p| g.degree(p) == 1).unwrap();
+        assert_eq!(stabilizer_order(&g, leaf), 24);
+    }
+
+    #[test]
+    fn asymmetric_spider_is_rigid_at_every_vertex() {
+        // The smallest asymmetric tree: a spider with legs of lengths
+        // 1, 2 and 3 hanging off vertex 0. Every automorphism preserves
+        // the unique degree-3 center and each leg's length, so the whole
+        // automorphism group — not just any stabilizer — is trivial, and
+        // the quotient collapses to the unreduced search bit-identically.
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (2, 3), (0, 4), (4, 5), (5, 6)],
+        )
+        .unwrap();
+        for p in g.procs() {
+            assert_eq!(stabilizer_order(&g, p), 1, "vertex {p:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_inputs_never_reach_the_enumerator() {
+        // `stabilizer` assumes a connected graph (the backtracker's
+        // degree pruning is only complete there). That assumption is
+        // discharged at construction: a disconnected edge list cannot
+        // produce a `Graph` at all.
+        let err = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap_err();
+        assert!(matches!(err, crate::GraphError::Disconnected { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed vertex out of range")]
+    fn out_of_range_fixed_vertex_panics() {
+        let g = generators::chain(3).unwrap();
+        let _ = stabilizer(&g, ProcId(7));
+    }
+
+    #[test]
     fn petersen_vertex_stabilizer_has_order_12() {
         // |Aut(Petersen)| = 120, vertex-transitive on 10 vertices.
         let g = generators::petersen();

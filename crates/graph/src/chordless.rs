@@ -103,7 +103,7 @@ pub fn longest(g: &Graph, budget: u64) -> ChordlessSearch {
         remaining = remaining.saturating_sub(r.visits);
         best.visits += r.visits;
         if r.path.len() > best.path.len() {
-            best.path = r.path.clone();
+            best.path.clone_from(&r.path);
         }
         if !r.exact {
             best.exact = false;

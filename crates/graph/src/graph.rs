@@ -97,6 +97,7 @@ impl Graph {
     }
 
     /// Returns a copy of this graph carrying the given display name.
+    #[must_use]
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
@@ -165,7 +166,7 @@ impl fmt::Debug for Graph {
             .field("name", &self.name)
             .field("n", &self.len())
             .field("m", &self.edge_count())
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -186,7 +187,7 @@ pub struct Neighbors<'a> {
     inner: std::slice::Iter<'a, ProcId>,
 }
 
-impl<'a> Iterator for Neighbors<'a> {
+impl Iterator for Neighbors<'_> {
     type Item = ProcId;
 
     #[inline]

@@ -30,8 +30,70 @@ pub mod sync {
     pub use std::sync::{atomic, Arc, Mutex};
 }
 
+use std::fmt;
+
 use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::Mutex;
+
+/// Why a set `PIF_WORKERS` value could not be honored.
+///
+/// A benchmark or CI run that sets the override has pinned the worker
+/// count *on purpose* — measurements taken under a silently ignored
+/// override report the wrong engine configuration. So an invalid value
+/// is a typed error ([`workers_override`]) and, on the infallible
+/// [`available_workers`] path, a loud once-per-process warning rather
+/// than a quiet fallback.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkersEnvError {
+    /// The variable is set but is not valid Unicode.
+    NotUnicode,
+    /// The variable does not parse as an unsigned integer.
+    NotAnInteger(String),
+    /// The variable parsed, but zero workers cannot run anything.
+    Zero,
+}
+
+impl fmt::Display for WorkersEnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkersEnvError::NotUnicode => {
+                write!(f, "PIF_WORKERS is set but is not valid Unicode")
+            }
+            WorkersEnvError::NotAnInteger(v) => {
+                write!(f, "PIF_WORKERS={v:?} is not an unsigned integer")
+            }
+            WorkersEnvError::Zero => write!(f, "PIF_WORKERS=0: at least one worker is required"),
+        }
+    }
+}
+
+impl std::error::Error for WorkersEnvError {}
+
+/// The `PIF_WORKERS` override as a typed result: `Ok(None)` when unset,
+/// `Ok(Some(n))` for a positive integer, and a [`WorkersEnvError`] for
+/// anything else. Callers that must not run under a misread pin (the
+/// benchmark harness) bail on the error; [`available_workers`] warns
+/// loudly and falls back.
+///
+/// # Errors
+///
+/// Returns a [`WorkersEnvError`] when the variable is set but is not
+/// valid Unicode, not an unsigned integer, or zero.
+pub fn workers_override() -> Result<Option<usize>, WorkersEnvError> {
+    match std::env::var("PIF_WORKERS") {
+        Ok(v) => parse_workers(&v).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(WorkersEnvError::NotUnicode),
+    }
+}
+
+fn parse_workers(v: &str) -> Result<usize, WorkersEnvError> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => Err(WorkersEnvError::Zero),
+        Ok(n) => Ok(n),
+        Err(_) => Err(WorkersEnvError::NotAnInteger(v.to_string())),
+    }
+}
 
 /// Number of workers to use by default: the `PIF_WORKERS` environment
 /// variable when set to a positive integer, otherwise the machine's
@@ -40,16 +102,25 @@ use crate::sync::Mutex;
 /// The override exists so benchmarks and CI can pin the worker count on
 /// machines whose reported parallelism differs from what the experiment
 /// wants to measure (e.g. forcing a parallel engine configuration on a
-/// single-core container, or vice versa).
+/// single-core container, or vice versa). An *invalid* override is not
+/// silently ignored: the first call prints the [`WorkersEnvError`] to
+/// stderr (once per process) before falling back to the host
+/// parallelism, so a typo'd pin cannot masquerade as a deliberate one.
 pub fn available_workers() -> usize {
-    if let Ok(v) = std::env::var("PIF_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+    match workers_override() {
+        Ok(Some(n)) => n,
+        Ok(None) => host_parallelism(),
+        Err(e) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid worker override ({e}); \
+                     using host parallelism instead"
+                );
+            });
+            host_parallelism()
         }
     }
-    host_parallelism()
 }
 
 /// The machine's available parallelism as reported by the OS (falling
@@ -232,6 +303,52 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn workers_override_parses_and_rejects() {
+        assert_eq!(parse_workers("3"), Ok(3));
+        assert_eq!(parse_workers("  16 "), Ok(16));
+        assert_eq!(parse_workers("0"), Err(WorkersEnvError::Zero));
+        assert_eq!(
+            parse_workers("four"),
+            Err(WorkersEnvError::NotAnInteger("four".to_string()))
+        );
+        assert_eq!(
+            parse_workers("-2"),
+            Err(WorkersEnvError::NotAnInteger("-2".to_string()))
+        );
+        assert_eq!(parse_workers(""), Err(WorkersEnvError::NotAnInteger(String::new())));
+        // The error renders the offending value so the warning names the
+        // typo rather than just announcing one happened.
+        assert!(parse_workers("four").unwrap_err().to_string().contains("four"));
+        assert!(parse_workers("0").unwrap_err().to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn workers_override_reads_the_environment() {
+        // This test owns PIF_WORKERS for its duration. Other tests in
+        // this binary only *read* the variable (through par_map's
+        // available_workers), and none of them asserts a particular
+        // worker count, so the brief mutation cannot fail them.
+        let saved = std::env::var_os("PIF_WORKERS");
+        std::env::set_var("PIF_WORKERS", "3");
+        assert_eq!(workers_override(), Ok(Some(3)));
+        assert_eq!(available_workers(), 3);
+        std::env::set_var("PIF_WORKERS", "0");
+        assert_eq!(workers_override(), Err(WorkersEnvError::Zero));
+        // The infallible path falls back to the host, never to 0.
+        assert!(available_workers() >= 1);
+        std::env::set_var("PIF_WORKERS", "six");
+        assert_eq!(
+            workers_override(),
+            Err(WorkersEnvError::NotAnInteger("six".to_string()))
+        );
+        std::env::remove_var("PIF_WORKERS");
+        assert_eq!(workers_override(), Ok(None));
+        if let Some(v) = saved {
+            std::env::set_var("PIF_WORKERS", v);
+        }
     }
 
     #[test]

@@ -598,6 +598,28 @@ impl std::fmt::Display for Reduction {
     }
 }
 
+/// The interference-radius premise the partial-order reduction runs
+/// under, recomputed from the protocol's *own declared specs* rather
+/// than assumed: the maximum link distance across which any declared
+/// action pair interferes, per the machine-derived
+/// [`pif_daemon::InterferenceGraph`] (the same derivation `pif-analyze`
+/// certifies against hand declarations and differential probing, AN010).
+///
+/// Protocols without action specs or without a declared register-name
+/// universe get the conservative fallback of `1` — the structural bound
+/// of the spec language itself (own-scope and neighbor-scope reads
+/// only). The internal `PorCtx` clamps `0` to `1` for the same reason,
+/// so the reduction never keys soundness on a premise the language
+/// cannot even express a violation of.
+pub fn por_premise_radius<P: Protocol>(protocol: &P) -> usize {
+    let registers = protocol.register_names();
+    if protocol.has_action_specs() && !registers.is_empty() {
+        pif_daemon::InterferenceGraph::from_protocol(protocol, registers).interference_radius()
+    } else {
+        1
+    }
+}
+
 /// Which execution engine a [`Checker`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mode {
@@ -697,7 +719,10 @@ impl Checker {
         SearchCtx {
             space,
             memo: if memoized { space.memo(self.workers()) } else { None },
-            por: self.reduction.por().then(|| PorCtx::new(&space.graph)),
+            por: self
+                .reduction
+                .por()
+                .then(|| PorCtx::with_radius(&space.graph, por_premise_radius(&space.protocol))),
             sym: if self.reduction.symmetry() { Quotient::build(space) } else { None },
             spill_budget: self.spill_budget,
         }

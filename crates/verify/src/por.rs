@@ -45,16 +45,43 @@ use pif_graph::Graph;
 
 /// Precomputed adjacency bitmasks for the connected-selection test.
 pub(crate) struct PorCtx {
-    /// `adj[i]` = neighbors of processor `i` (self bit excluded).
+    /// `adj[i]` = processors within the interference radius of `i`
+    /// (self bit excluded).
     adj: [u16; 16],
 }
 
 impl PorCtx {
-    pub(crate) fn new(graph: &Graph) -> Self {
+    /// Builds the context for a declared interference radius: two
+    /// processors count as adjacent (their joint selection is *not*
+    /// decomposable) when their graph distance is ≤ `max(radius, 1)`.
+    ///
+    /// The radius comes from the machine-derived interference graph
+    /// (`por_premise_radius`); a radius of 0 — own-register interference
+    /// only — is clamped to 1 rather than exploited, so the reduction
+    /// never keys soundness on a premise stronger than the spec
+    /// language itself can express.
+    pub(crate) fn with_radius(graph: &Graph, radius: usize) -> Self {
+        let radius = radius.max(1);
         let mut adj = [0u16; 16];
         for p in graph.procs() {
-            for q in graph.neighbors(p) {
-                adj[p.index()] |= 1 << q.index();
+            // Bounded BFS from `p`: everything within `radius` links.
+            let mut dist = [usize::MAX; 16];
+            dist[p.index()] = 0;
+            let mut queue = vec![p];
+            let mut head = 0;
+            while head < queue.len() {
+                let q = queue[head];
+                head += 1;
+                if dist[q.index()] == radius {
+                    continue;
+                }
+                for w in graph.neighbors(q) {
+                    if dist[w.index()] == usize::MAX {
+                        dist[w.index()] = dist[q.index()] + 1;
+                        queue.push(w);
+                        adj[p.index()] |= 1 << w.index();
+                    }
+                }
             }
         }
         PorCtx { adj }
@@ -92,7 +119,7 @@ mod tests {
     fn chain_connectivity_matches_interval_structure() {
         // On a chain, a selection is connected iff it is a contiguous
         // interval of processors.
-        let ctx = PorCtx::new(&generators::chain(5).unwrap());
+        let ctx = PorCtx::with_radius(&generators::chain(5).unwrap(), 1);
         for sel in 1u16..(1 << 5) {
             let lo = sel.trailing_zeros();
             let hi = 15 - sel.leading_zeros();
@@ -108,7 +135,7 @@ mod tests {
             generators::ring(5).unwrap(),
             generators::grid(3, 2).unwrap(),
         ] {
-            let ctx = PorCtx::new(&g);
+            let ctx = PorCtx::with_radius(&g, 1);
             for i in 0..g.len() {
                 assert!(ctx.connected(1 << i));
             }
@@ -118,8 +145,25 @@ mod tests {
     }
 
     #[test]
+    fn radius_two_closes_over_one_gap() {
+        // With a declared radius of 2, {0, 2} on a chain is an
+        // interfering (non-decomposable) selection; {0, 3} still is not.
+        let g = generators::chain(5).unwrap();
+        let r1 = PorCtx::with_radius(&g, 1);
+        let r2 = PorCtx::with_radius(&g, 2);
+        assert!(!r1.connected(0b00101));
+        assert!(r2.connected(0b00101));
+        assert!(!r2.connected(0b01001));
+        // Radius 0 is clamped to 1: identical adjacency.
+        let r0 = PorCtx::with_radius(&g, 0);
+        for sel in 1u16..(1 << 5) {
+            assert_eq!(r0.connected(sel), r1.connected(sel), "sel {sel:#07b}");
+        }
+    }
+
+    #[test]
     fn ring_antipodal_pairs_are_disconnected() {
-        let ctx = PorCtx::new(&generators::ring(6).unwrap());
+        let ctx = PorCtx::with_radius(&generators::ring(6).unwrap(), 1);
         assert!(!ctx.connected((1 << 0) | (1 << 3)));
         assert!(ctx.connected((1 << 0) | (1 << 1)));
         // Two arcs joined through vertex 0 wrap around the ring.

@@ -56,6 +56,39 @@ fn pif_interference_radius_is_one() {
 }
 
 #[test]
+fn por_consumes_the_machine_derived_radius() {
+    // The verifier no longer hard-codes radius 1: `por_premise_radius`
+    // recompiles the interference graph from the protocol's declared
+    // specs and hands its radius to the connected-selection rule. For
+    // PIF that derivation must land on exactly 1 — so the reduction
+    // behaves bit-identically to the hand-declared premise it replaced —
+    // and for a spec-less protocol the premise must fall back to the
+    // conservative radius 1 rather than claiming independence it cannot
+    // derive.
+    let g = generators::chain(4).unwrap();
+    let protocol = PifProtocol::new(ProcId(0), &g);
+    assert_eq!(pif_suite::verify::por_premise_radius(&protocol), 1);
+
+    struct NoSpecs(PifProtocol);
+    impl Protocol for NoSpecs {
+        type State = <PifProtocol as Protocol>::State;
+        fn enabled_actions(&self, view: View<'_, Self::State>, out: &mut Vec<ActionId>) {
+            self.0.enabled_actions(view, out);
+        }
+        fn execute(&self, view: View<'_, Self::State>, action: ActionId) -> Self::State {
+            self.0.execute(view, action)
+        }
+        fn action_names(&self) -> &'static [&'static str] {
+            self.0.action_names()
+        }
+        // No `action_spec`, no `register_names`: the defaults advertise
+        // nothing, so the premise must not sharpen past radius 1.
+    }
+    let bare = NoSpecs(PifProtocol::new(ProcId(0), &g));
+    assert_eq!(pif_suite::verify::por_premise_radius(&bare), 1);
+}
+
+#[test]
 fn distant_moves_commute_on_sampled_configurations() {
     // chain(4): processor pairs at graph distance >= 2.
     let g = generators::chain(4).unwrap();
