@@ -16,5 +16,7 @@ fn main() {
     e12_severity::run().emit("e12_severity");
     e13_message_passing::run().emit("e13_message_passing");
     e15_service::run().emit("e15_service");
+    e18_chaos::run().emit("e18_chaos");
+    e18_chaos::run_search().emit("e18_chaos_search");
     println!("full battery completed in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -1,0 +1,7 @@
+//! E18 — chaos: churn soaks and adversarial schedule search.
+use pif_bench::experiments::e18_chaos;
+
+fn main() {
+    e18_chaos::run().emit("e18_chaos");
+    e18_chaos::run_search().emit("e18_chaos_search");
+}

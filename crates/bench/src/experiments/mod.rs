@@ -16,3 +16,4 @@ pub mod e10_ablations;
 pub mod e12_severity;
 pub mod e13_message_passing;
 pub mod e15_service;
+pub mod e18_chaos;

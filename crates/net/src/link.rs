@@ -141,6 +141,10 @@ pub(crate) struct Link {
     queue: VecDeque<InFlightFrame>,
     capacity: usize,
     rng: StdRng,
+    /// Administratively failed (topology churn): every send is dropped
+    /// before any fault draw, so the seeded fault stream stays aligned
+    /// and recovery replays bit-identically.
+    down: bool,
     pub(crate) stats: LinkStats,
 }
 
@@ -150,14 +154,37 @@ impl Link {
             queue: VecDeque::new(),
             capacity,
             rng: StdRng::seed_from_u64(seed),
+            down: false,
             stats: LinkStats::default(),
         }
+    }
+
+    /// Marks the link failed or recovered. Failing also flushes whatever
+    /// was in flight (a severed cable loses its frames); the flushed
+    /// count is returned so the transport can fix its queue accounting.
+    pub(crate) fn set_down(&mut self, down: bool) -> usize {
+        self.down = down;
+        if down {
+            let lost = self.queue.len();
+            self.stats.down_lost += lost as u64;
+            self.stats.dropped += lost as u64;
+            self.queue.clear();
+            lost
+        } else {
+            0
+        }
+    }
+
+    pub(crate) fn is_down(&self) -> bool {
+        self.down
     }
 
     /// Offers one encoded frame to the link, applying the fault plan.
     ///
     /// Draw order is fixed (drop, overflow, corrupt, duplicate, reorder)
-    /// and zero rates draw nothing, keeping replay bit-identical.
+    /// and zero rates draw nothing, keeping replay bit-identical. A
+    /// *down* link drops everything before the first draw — churn maps
+    /// onto the drop channel without perturbing the fault stream.
     ///
     /// Overflow evicts the *oldest* queued frame to make room — these
     /// are state-snapshot channels, so the newest snapshot always wins;
@@ -165,6 +192,11 @@ impl Link {
     /// every downstream cache arbitrarily stale.
     pub(crate) fn send(&mut self, frame: &[u8], plan: &FaultPlan) -> SendOutcome {
         self.stats.sent += 1;
+        if self.down {
+            self.stats.dropped += 1;
+            self.stats.down_lost += 1;
+            return SendOutcome::Dropped;
+        }
         if plan.drop > 0.0 && self.rng.random_bool(plan.drop) {
             self.stats.dropped += 1;
             return SendOutcome::Dropped;

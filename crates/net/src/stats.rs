@@ -35,6 +35,10 @@ pub struct LinkStats {
     pub overflow_dropped: u64,
     /// Frames forged into the channel by a corruption campaign.
     pub forged: u64,
+    /// Frames lost to an administratively failed link (topology churn):
+    /// sends attempted while the link was down plus in-flight frames
+    /// flushed at the moment of failure. Also counted in `dropped`.
+    pub down_lost: u64,
 }
 
 impl LinkStats {
@@ -76,6 +80,8 @@ pub struct NetStats {
     pub overflow_dropped: u64,
     /// Frames forged by cache-corruption campaigns.
     pub forged_frames: u64,
+    /// Frames lost to administratively failed links (topology churn).
+    pub down_lost: u64,
     /// Cache entries overwritten by forged frames.
     pub cache_corruptions: u64,
     /// Frames currently sitting in channels.
@@ -100,5 +106,6 @@ impl NetStats {
         self.stale_rejected += link.stale_rejected;
         self.overflow_dropped += link.overflow_dropped;
         self.forged_frames += link.forged;
+        self.down_lost += link.down_lost;
     }
 }

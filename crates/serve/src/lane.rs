@@ -30,7 +30,7 @@ use pif_graph::{Graph, ProcId};
 use pif_net::{NetSim, Transport};
 use pif_soa::{Engine, EngineSim};
 
-use crate::ledger::{RequestOutcome, RequestRecord};
+use crate::ledger::{RequestOutcome, RequestRecord, ShedCause};
 use crate::request::{KindAggregate, Request, RequestId};
 use crate::service::NetLaneConfig;
 use crate::ServeError;
@@ -156,6 +156,9 @@ pub(crate) struct Lane<M> {
     /// Consecutive dry net steps (see [`NET_DRY_LIMIT`]); always 0 on
     /// the mem engines.
     dry_steps: u64,
+    /// Retired lanes never step again (their initiator left the
+    /// topology); see [`Lane::retire`].
+    retired: bool,
 }
 
 impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
@@ -169,10 +172,15 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
         step_limit: u64,
         engine: Engine,
         net: Option<(&NetLaneConfig, u64)>,
+        init_states: Option<Vec<PifState>>,
     ) -> Result<Self, ServeError> {
         let n = graph.len();
         let protocol = PifProtocol::new(initiator, &graph);
-        let init = initial::normal_starting(&graph);
+        // Churn rebuilds carry the surviving replicas' registers over so
+        // the new lane starts mid-stream (an *arbitrary* configuration —
+        // exactly what snap-stabilization covers); fresh lanes start from
+        // the normal starting configuration.
+        let init = init_states.unwrap_or_else(|| initial::normal_starting(&graph));
         let metrics = MetricsObserver::for_protocol(&protocol, n);
         let sim = match net {
             None => LaneSim::Mem(
@@ -201,11 +209,22 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
             fault_epoch: 0,
             step_limit,
             dry_steps: 0,
+            retired: false,
         })
     }
 
     pub(crate) fn initiator(&self) -> ProcId {
         self.initiator
+    }
+
+    /// The lane replica's current register states, indexed by processor.
+    pub(crate) fn states(&self) -> &[PifState] {
+        self.sim.states()
+    }
+
+    /// The lane's current fault epoch (corruption campaigns applied).
+    pub(crate) fn fault_epoch(&self) -> u32 {
+        self.fault_epoch
     }
 
     pub(crate) fn queue_len(&self) -> usize {
@@ -221,30 +240,54 @@ impl<M: Clone + PartialEq + fmt::Debug> Lane<M> {
     }
 
     /// A ledger record for a request evicted before ever being armed.
-    pub(crate) fn shed_record(&self, id: RequestId, req: &Request<M>) -> RequestRecord {
+    pub(crate) fn shed_record(
+        &self,
+        id: RequestId,
+        aggregate: crate::request::AggregateKind,
+        cause: ShedCause,
+        turnaround_steps: u64,
+    ) -> RequestRecord {
         RequestRecord {
             id,
             initiator: self.initiator,
             shard: self.shard,
-            aggregate: req.aggregate,
-            outcome: RequestOutcome::Shed,
+            aggregate,
+            outcome: RequestOutcome::Shed { cause },
             initiated_epoch: self.fault_epoch,
             completed_epoch: self.fault_epoch,
             broadcast_steps: 0,
             feedback_steps: 0,
             cycle_steps: 0,
             cycle_rounds: 0,
-            turnaround_steps: 0,
+            turnaround_steps,
             height: 0,
         }
+    }
+
+    /// Retires the lane: its initiator is leaving the topology. Every
+    /// queued request — and the armed in-flight one, if any — is shed
+    /// with [`ShedCause::Retired`] so churn losses stay distinguishable
+    /// from fault casualties in the ledger. The lane never steps again.
+    pub(crate) fn retire(&mut self) -> Vec<RequestRecord> {
+        self.retired = true;
+        let mut records = Vec::new();
+        if let Some(cur) = self.current.take() {
+            let waited = self.overlay.observed_steps().saturating_sub(cur.armed_at);
+            records.push(self.shed_record(cur.id, cur.aggregate, ShedCause::Retired, waited));
+        }
+        while let Some((id, req)) = self.queue.pop_front() {
+            records.push(self.shed_record(id, req.aggregate, ShedCause::Retired, 0));
+        }
+        records
     }
 
     /// Whether the lane still has work: a wave in flight or queued
     /// requests. Idle lanes are simply not stepped (the simulator keeps
     /// whatever cleaning-phase residue the last cycle left — the next
     /// cycle's wave is built to start from exactly such configurations).
+    /// Retired lanes are never live.
     pub(crate) fn is_live(&self) -> bool {
-        self.current.is_some() || !self.queue.is_empty()
+        !self.retired && (self.current.is_some() || !self.queue.is_empty())
     }
 
     /// Deterministic per-phase metrics accumulated by this lane.

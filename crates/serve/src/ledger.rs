@@ -20,6 +20,34 @@ use pif_graph::ProcId;
 use crate::request::AggregateKind;
 use crate::{RequestId, ServeError};
 
+/// Why a shed request never ran.
+///
+/// Shedding is *admission control*, not a delivery failure — but the two
+/// causes have different SLO meanings. A `Displaced` request lost a queue
+/// slot to load; a `Retired` one lost its initiator to topology churn.
+/// Keeping them distinguishable (instead of one opaque `Shed`) is what
+/// lets availability denominators stay honest: neither is a fault
+/// casualty, and neither is silently dropped from the ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedCause {
+    /// Evicted from a full queue under [`crate::ShedPolicy::DropOldest`]
+    /// (or rejected at submission under [`crate::ShedPolicy::Reject`]).
+    Displaced,
+    /// Its initiator's lane was retired (e.g. the processor left the
+    /// topology mid-campaign) with the request still queued or armed.
+    Retired,
+}
+
+impl ShedCause {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedCause::Displaced => "displaced",
+            ShedCause::Retired => "retired",
+        }
+    }
+}
+
 /// Terminal status of one request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RequestOutcome {
@@ -34,8 +62,11 @@ pub enum RequestOutcome {
         /// The aggregated feedback the root collected.
         feedback: Option<i64>,
     },
-    /// Evicted from a full queue under [`crate::ShedPolicy::DropOldest`].
-    Shed,
+    /// Never ran: evicted by admission control or lane retirement.
+    Shed {
+        /// What evicted it.
+        cause: ShedCause,
+    },
     /// The per-request step budget expired before the root's `F-action`.
     TimedOut,
 }
@@ -93,16 +124,25 @@ impl RequestRecord {
     /// Whether the operational snap claim covers this record: its wave was
     /// initiated after at least one fault and no later fault hit it.
     pub fn covered_by_snap_claim(&self) -> bool {
-        self.initiated_epoch > 0 && self.single_epoch() && self.outcome != RequestOutcome::Shed
+        self.initiated_epoch > 0
+            && self.single_epoch()
+            && !matches!(self.outcome, RequestOutcome::Shed { .. })
     }
 
     /// Whether a fault cost this request: it was in flight when a
-    /// campaign hit (or starved past its budget) and did not complete
-    /// correctly.
+    /// campaign hit (or starved past its budget *after* a fault) and did
+    /// not complete correctly.
+    ///
+    /// Shed requests are never casualties — they were evicted by
+    /// admission control or lane retirement before a wave ran for them
+    /// (see [`ShedCause`]). A timeout in a ledger that never saw a fault
+    /// (`completed_epoch == 0`) is starvation or a misconfigured step
+    /// budget, not a fault casualty; it still fails
+    /// [`LedgerSummary::is_clean`], just under the honest label.
     pub fn is_casualty(&self) -> bool {
         match self.outcome {
-            RequestOutcome::Shed => false,
-            RequestOutcome::TimedOut => true,
+            RequestOutcome::Shed { .. } => false,
+            RequestOutcome::TimedOut => self.completed_epoch > 0,
             RequestOutcome::Completed { .. } => !self.single_epoch() && !self.is_correct(),
         }
     }
@@ -175,7 +215,7 @@ impl DeliveryLedger {
             match &r.outcome {
                 RequestOutcome::Completed { pif1: true, pif2: true, .. } => s.completed_ok += 1,
                 RequestOutcome::Completed { .. } => s.completed_bad += 1,
-                RequestOutcome::Shed => s.shed += 1,
+                RequestOutcome::Shed { .. } => s.shed += 1,
                 RequestOutcome::TimedOut => s.timed_out += 1,
             }
             if r.is_casualty() {
@@ -189,6 +229,15 @@ impl DeliveryLedger {
             }
         }
         s
+    }
+
+    /// Counts shed records by cause, without touching the (report-stable)
+    /// [`LedgerSummary`] field set.
+    pub fn shed_by_cause(&self, cause: ShedCause) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Shed { cause })
+            .count() as u64
     }
 
     /// Asserts the operational snap-stabilization claim: every request
@@ -280,19 +329,36 @@ mod tests {
     fn shed_records_do_not_break_cleanliness() {
         let mut l = DeliveryLedger::new();
         l.push(record(0, ok(), 0, 0));
-        l.push(record(1, RequestOutcome::Shed, 0, 0));
+        l.push(record(1, RequestOutcome::Shed { cause: ShedCause::Displaced }, 0, 0));
+        l.push(record(2, RequestOutcome::Shed { cause: ShedCause::Retired }, 0, 0));
         let s = l.summary();
-        assert_eq!(s.shed, 1);
+        assert_eq!(s.shed, 2);
+        assert_eq!(l.shed_by_cause(ShedCause::Displaced), 1);
+        assert_eq!(l.shed_by_cause(ShedCause::Retired), 1);
+        assert_eq!(s.casualties, 0, "shedding is admission control, not a fault");
         assert!(s.is_clean());
     }
 
     #[test]
-    fn timeout_counts_as_casualty() {
+    fn timeout_after_a_fault_counts_as_casualty() {
         let mut l = DeliveryLedger::new();
         l.push(record(0, RequestOutcome::TimedOut, 0, 1));
         let s = l.summary();
         assert_eq!(s.timed_out, 1);
         assert_eq!(s.casualties, 1);
+        assert!(!s.is_clean());
+    }
+
+    #[test]
+    fn fault_free_timeout_is_starvation_not_a_casualty() {
+        // No corruption campaign ever ran (both epochs 0): the timeout
+        // still dirties the ledger, but it must not be booked against
+        // faults — that would inflate every SLO denominator downstream.
+        let mut l = DeliveryLedger::new();
+        l.push(record(0, RequestOutcome::TimedOut, 0, 0));
+        let s = l.summary();
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.casualties, 0);
         assert!(!s.is_clean());
     }
 }

@@ -75,7 +75,7 @@ pub mod request;
 pub mod service;
 mod shard;
 
-pub use ledger::{DeliveryLedger, LedgerSummary, RequestOutcome, RequestRecord};
+pub use ledger::{DeliveryLedger, LedgerSummary, RequestOutcome, RequestRecord, ShedCause};
 pub use report::ServiceReport;
 pub use request::{AggregateKind, KindAggregate, Request, RequestId};
 pub use pif_soa::Engine;

@@ -149,6 +149,17 @@ pub struct ServeConfig {
     /// Optional message-passing transport: when set, lanes run over
     /// lossy links instead of the shared-memory `engine`.
     pub net: Option<NetLaneConfig>,
+    /// Optional explicit network instance. [`Topology`] covers the named
+    /// generator families only; churned topologies (arbitrary connected
+    /// edge sets produced by `pif-chaos`'s `DynGraph`) are injected here
+    /// and take precedence over `topology` at construction. `topology`
+    /// is kept for reporting (it names the *base* family).
+    pub graph: Option<Graph>,
+    /// Optional per-initiator initial register states (length must equal
+    /// the instantiated network size). Lanes without an entry start from
+    /// the normal starting configuration. This is how churn rebuilds
+    /// carry surviving replicas' registers across a topology change.
+    pub lane_states: Option<Vec<(ProcId, Vec<PifState>)>>,
 }
 
 impl ServeConfig {
@@ -168,6 +179,8 @@ impl ServeConfig {
             contributions: None,
             engine: Engine::Aos,
             net: None,
+            graph: None,
+            lane_states: None,
         }
     }
 
@@ -242,6 +255,22 @@ impl ServeConfig {
         self.net = Some(net);
         self
     }
+
+    /// Serves an explicit (possibly churned) network instance instead of
+    /// building one from `topology`.
+    #[must_use]
+    pub fn graph_override(mut self, graph: Graph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Seeds specific initiators' replicas with explicit register states
+    /// (see [`ServeConfig::lane_states`]).
+    #[must_use]
+    pub fn lane_states(mut self, states: Vec<(ProcId, Vec<PifState>)>) -> Self {
+        self.lane_states = Some(states);
+        self
+    }
 }
 
 /// The long-lived wave service: accepts a stream of broadcast requests and
@@ -279,8 +308,20 @@ impl<M: Clone + PartialEq + fmt::Debug + Send> WaveService<M> {
         if config.initiators.is_empty() {
             return Err(ServeError::NoInitiators);
         }
-        let graph = config.topology.build()?;
+        let graph = match &config.graph {
+            Some(g) => g.clone(),
+            None => config.topology.build()?,
+        };
         let n = graph.len();
+        if let Some(ls) = &config.lane_states {
+            for (p, states) in ls {
+                assert_eq!(
+                    states.len(),
+                    n,
+                    "lane_states for {p:?} must cover the whole network"
+                );
+            }
+        }
         let mut seen = vec![false; n];
         for &p in &config.initiators {
             if p.index() >= n {
@@ -319,6 +360,11 @@ impl<M: Clone + PartialEq + fmt::Debug + Send> WaveService<M> {
                 .net
                 .as_ref()
                 .map(|cfg| (cfg, mix(config.seed ^ (u64::from(p.0) << 29) ^ 0x6E65_7421)));
+            let init = config
+                .lane_states
+                .as_ref()
+                .and_then(|ls| ls.iter().find(|(q, _)| *q == p))
+                .map(|(_, s)| s.clone());
             let lane = crate::lane::Lane::new(
                 graph.clone(),
                 p,
@@ -328,6 +374,7 @@ impl<M: Clone + PartialEq + fmt::Debug + Send> WaveService<M> {
                 config.step_limit,
                 config.engine,
                 net,
+                init,
             )?;
             route.push((p, shard, lanes[shard].len()));
             lanes[shard].push(lane);
@@ -451,6 +498,48 @@ impl<M: Clone + PartialEq + fmt::Debug + Send> WaveService<M> {
     /// The shard index each configured initiator was assigned to.
     pub fn assignment(&self) -> Vec<(ProcId, usize)> {
         self.route.iter().map(|&(p, s, _)| (p, s)).collect()
+    }
+
+    /// Every live lane's current register states, keyed by initiator and
+    /// in configuration order. This is the churn carry-over surface: a
+    /// rebuild after a topology change feeds these (remapped to the new
+    /// processor ids) back in via [`ServeConfig::lane_states`], so
+    /// surviving replicas resume from their mid-stream configurations
+    /// instead of a clean slate.
+    pub fn lane_states(&self) -> Vec<(ProcId, Vec<PifState>)> {
+        self.route
+            .iter()
+            .map(|&(p, s, l)| (p, self.shards[s].lanes()[l].states().to_vec()))
+            .collect()
+    }
+
+    /// The fault epoch of each live lane, keyed by initiator.
+    pub fn lane_fault_epochs(&self) -> Vec<(ProcId, u32)> {
+        self.route
+            .iter()
+            .map(|&(p, s, l)| (p, self.shards[s].lanes()[l].fault_epoch()))
+            .collect()
+    }
+
+    /// Retires an initiator's lane mid-campaign (its processor is leaving
+    /// the topology): every queued and in-flight request on that lane is
+    /// shed into the ledger with [`crate::ShedCause::Retired`], and the
+    /// initiator stops routing (later [`WaveService::submit`] calls for
+    /// it return [`ServeError::UnknownInitiator`]). Returns the number of
+    /// requests shed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownInitiator`] if `p` is not (or no longer) a
+    /// configured initiator.
+    pub fn retire_initiator(&mut self, p: ProcId) -> Result<u64, ServeError> {
+        let pos = self
+            .route
+            .iter()
+            .position(|&(q, _, _)| q == p)
+            .ok_or(ServeError::UnknownInitiator { initiator: p })?;
+        let (_, shard, lane) = self.route.remove(pos);
+        Ok(self.shards[shard].retire_lane(lane))
     }
 }
 

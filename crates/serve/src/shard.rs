@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::lane::Lane;
-use crate::ledger::RequestRecord;
+use crate::ledger::{RequestRecord, ShedCause};
 use crate::request::{Request, RequestId};
 use crate::service::{FaultSpec, ShedPolicy};
 use crate::ServeError;
@@ -89,7 +89,12 @@ impl<M: Clone + PartialEq + fmt::Debug> Shard<M> {
                 ShedPolicy::Reject => return Err((lane.initiator(), capacity)),
                 ShedPolicy::DropOldest => {
                     if let Some((old_id, old_req)) = lane.pop_oldest() {
-                        let record = self.lanes[lane_idx].shed_record(old_id, &old_req);
+                        let record = self.lanes[lane_idx].shed_record(
+                            old_id,
+                            old_req.aggregate,
+                            ShedCause::Displaced,
+                            0,
+                        );
                         self.records.push(record);
                     }
                 }
@@ -97,6 +102,16 @@ impl<M: Clone + PartialEq + fmt::Debug> Shard<M> {
         }
         self.lanes[lane_idx].enqueue(id, req);
         Ok(())
+    }
+
+    /// Retires lane `lane_idx` (its initiator left the topology): all its
+    /// queued and in-flight work is shed with [`ShedCause::Retired`] into
+    /// this shard's ledger slice. Returns the number of requests shed.
+    pub(crate) fn retire_lane(&mut self, lane_idx: usize) -> u64 {
+        let records = self.lanes[lane_idx].retire();
+        let shed = records.len() as u64;
+        self.records.extend(records);
+        shed
     }
 
     /// Drains every lane: repeatedly picks a uniformly random live lane

@@ -23,6 +23,17 @@
 //! * [`step_batch`] — advances many independent wave simulators (service
 //!   shards, benchmark replicas) in one pass over `pif-par` workers.
 //!
+//! # Topology changes (the churn contract)
+//!
+//! The packed planes are sized and word-laid-out for one fixed graph: a
+//! simulator never survives a topology change. When the chaos layer
+//! (`pif-chaos`, DESIGN §18) reconfigures the network it snapshots the
+//! surviving subgraph, remaps the carried register state onto compact
+//! ids, and constructs a *fresh* [`SoaSimulator`]/[`EngineSim`] over the
+//! new graph — plane coherence is guaranteed by reconstruction, not by
+//! in-place surgery. Carried state is just an arbitrary initial
+//! configuration, which is exactly the regime snap-stabilization covers.
+//!
 //! # Example
 //!
 //! ```

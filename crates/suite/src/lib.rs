@@ -9,6 +9,7 @@ pub use pif_analyze as analyze;
 pub use pif_apps as apps;
 pub use pif_baselines as baselines;
 pub use pif_bench as bench;
+pub use pif_chaos as chaos;
 pub use pif_core as core;
 pub use pif_daemon as daemon;
 pub use pif_graph as graph;

@@ -95,7 +95,7 @@ use memo::EnabledMemo;
 use pif_core::protocol::{B_ACTION, B_CORRECTION, F_ACTION, F_CORRECTION};
 use pif_core::{Phase, PifProtocol, PifState};
 use pif_daemon::{ActionId, Protocol, View};
-use pif_graph::{Graph, ProcId};
+use pif_graph::{automorphism, Graph, ProcId};
 use por::PorCtx;
 use symmetry::Quotient;
 use visited::{VisitedConfig, VisitedSet};
@@ -596,6 +596,39 @@ impl std::fmt::Display for Reduction {
             Reduction::Full => "full",
         })
     }
+}
+
+/// One representative PIF root per orbit of the vertex set under the
+/// group generated by `symmetries`, with the orbit size as the measured
+/// sweep-reduction factor.
+///
+/// This is the *cross-instance* complement of the root-fixing symmetry
+/// quotient ([`Reduction::Symmetry`]): a fixed-point-free automorphism
+/// (every non-identity torus translation, for example) can never enter
+/// a root-fixing quotient, but it still carries the instance rooted at
+/// `r` onto the instance rooted at `σ(r)` — PIF is anonymous except for
+/// the root, so the two instances are relabelings of each other with
+/// identical behaviour (same verdicts, same round counts, same explored
+/// spaces). A sweep over all roots of a `w × h` torus therefore only
+/// needs **one** representative instance instead of `w·h`: pass
+/// `pif_graph::automorphism::torus_translations(w, h)` as the group.
+/// `tests/torus_symmetry.rs` machine-checks both halves of that claim —
+/// the 9× factor on torus(3×3) and the step-for-step behavioural
+/// equality of translated roots.
+///
+/// Generators that are not automorphisms of `graph` are ignored (a
+/// smaller group is always sound — it only yields more representatives
+/// than strictly necessary, never a wrong one).
+pub fn representative_roots(
+    graph: &Graph,
+    symmetries: &[automorphism::Permutation],
+) -> Vec<(ProcId, usize)> {
+    let sound: Vec<automorphism::Permutation> = symmetries
+        .iter()
+        .filter(|s| automorphism::is_automorphism(graph, s))
+        .cloned()
+        .collect();
+    automorphism::orbit_representatives(graph.len(), &sound)
 }
 
 /// The interference-radius premise the partial-order reduction runs

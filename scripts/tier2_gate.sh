@@ -174,6 +174,41 @@ jq -e '[.results[] | select(.cell == "adversarial" and .crc_rejected > 0)]
     --net-drop 0.1 --net-reorder 0.2 --net-corrupt 0.02 \
     --corrupt-after 30 --corrupt-registers 8
 
+# Chaos layer smoke (DESIGN.md §18): a clean soak and an adversarial
+# churn + corruption soak must both grade steady-state availability n/n
+# with the snap claim intact (the binary exits non-zero otherwise), and
+# the emitted JSON must carry the documented chaos_slo cell shape.
+./target/release/pif_chaos soak --topology ring:8 --seed 11 \
+    --json "$trace_dir/chaos_clean.json"
+./target/release/pif_chaos soak --topology grid:3x3 --seed 17 \
+    --churn-epochs 2 --churn-per-epoch 2 --corrupt-registers 3 \
+    --engine soa --json "$trace_dir/chaos_storm.json"
+for f in chaos_clean chaos_storm; do
+    jq -e '.benchmark == "chaos_slo" and .version == 1
+           and (.results | length == 1)' "$trace_dir/$f.json" > /dev/null
+    jq -e '.results[0] | .snap_ok
+           and .steady_within_slo == .steady_total
+           and .availability >= 1 and .steady_availability >= 1' \
+        "$trace_dir/$f.json" > /dev/null
+done
+# The churned soak must have actually churned and retired or carried
+# lanes across at least one rebuild.
+jq -e '.results[0].churn_applied > 0' "$trace_dir/chaos_storm.json" > /dev/null
+# The committed chaos benchmark must parse with the right shape — the
+# full matrix, every cell snap-clean and steady-available — and replay
+# bit-identically from its recorded seeds (`check` exits non-zero on any
+# mismatch).
+jq -e '.benchmark == "chaos_slo" and .version == 1
+       and (.results | length == 9)' BENCH_chaos_slo.json > /dev/null
+jq -e '[.results[] | select(.snap_ok and .steady_within_slo == .steady_total)]
+       | length == 9' BENCH_chaos_slo.json > /dev/null
+jq -e '[.results[] | select(.churn != null and .churn_applied > 0)]
+       | length >= 3' BENCH_chaos_slo.json > /dev/null
+./target/release/pif_chaos check BENCH_chaos_slo.json
+# Adversarial schedule search: every searched schedule must stay inside
+# the Theorem 1/2 windows (the binary exits non-zero if one breaks out).
+./target/release/pif_chaos search --topology chain:6 --seed 7
+
 # Unsafe-audit gate: the workspace's concurrency claims are audited under
 # the premise that no crate uses `unsafe` (DESIGN.md §12). Keep it true.
 if grep -rn "unsafe" --include='*.rs' crates/ vendor/ \
@@ -221,7 +256,7 @@ fi
 # naming/length conventions the rest of the workspace does not follow,
 # and inline(always) on the SoA hot-path accessors (deliberate: the
 # batch-stepping kernel depends on those loads folding into the scan).
-cargo clippy -p pif-analyze -p pif-graph -p pif-net -p pif-par -p pif-serve -p pif-soa --no-deps --all-targets -- -D warnings \
+cargo clippy -p pif-analyze -p pif-chaos -p pif-graph -p pif-net -p pif-par -p pif-serve -p pif-soa --no-deps --all-targets -- -D warnings \
     -W clippy::pedantic \
     -A clippy::cast-possible-truncation \
     -A clippy::cast-possible-wrap \

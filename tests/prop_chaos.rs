@@ -1,0 +1,157 @@
+//! Determinism and safety properties of the chaos layer.
+//!
+//! * **Schedule-independence**: a chaos campaign's graded cell is a pure
+//!   function of its [`CampaignConfig`] — invariant under the worker
+//!   count (`PIF_WORKERS` ∈ {1, 2, 4}) and the step backend
+//!   (`Engine::{Aos, Soa}`), because shards share nothing and the two
+//!   engines honor the same observable contract.
+//! * **Replay**: campaigns re-run bit-identically from their recorded
+//!   scenario (the `pif-chaos check` path), across seeded topologies,
+//!   churn plans, and corruption settings.
+//! * **Connectivity**: a [`DynGraph`] under an arbitrary seeded churn
+//!   plan only ever snapshots valid connected instances with compact,
+//!   ascending id maps — the paper's model is never left.
+
+use pif_suite::chaos::{
+    run_campaign, CampaignConfig, ChurnAction, ChurnOutcome, ChurnPlan, ChurnSpec, DynGraph,
+};
+use pif_suite::graph::{generators, metrics, Topology};
+use pif_suite::serve::Engine;
+use proptest::prelude::*;
+
+fn churny(topology: Topology, seed: u64, engine: Engine) -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(topology, seed);
+    cfg.requests_per_epoch = 8;
+    cfg.churn = Some(ChurnSpec { epochs: 2, per_epoch: 2, seed: seed ^ 0xC0D9 });
+    cfg.corrupt_registers = 2;
+    cfg.engine = engine;
+    cfg
+}
+
+/// The satellite claim: PIF_WORKERS ∈ {1, 2, 4} × Engine::{Aos, Soa}
+/// all produce the same graded cell for the same campaign. The whole
+/// sweep lives in one `#[test]` because `PIF_WORKERS` is process-global
+/// state — no other test in this binary touches it.
+#[test]
+fn campaigns_are_invariant_under_worker_count_and_engine() {
+    let saved = std::env::var_os("PIF_WORKERS");
+    let mut cells = Vec::new();
+    for workers in ["1", "2", "4"] {
+        std::env::set_var("PIF_WORKERS", workers);
+        for engine in Engine::ALL {
+            let cfg = churny(Topology::Grid { w: 3, h: 3 }, 77, engine);
+            let cell = run_campaign(&cfg).expect("campaign failed");
+            cells.push((workers, engine, cell));
+        }
+    }
+    match saved {
+        Some(v) => std::env::set_var("PIF_WORKERS", v),
+        None => std::env::remove_var("PIF_WORKERS"),
+    }
+    let (_, _, first) = &cells[0];
+    assert!(first.churn_applied > 0, "the sweep must actually churn");
+    for (workers, engine, cell) in &cells[1..] {
+        // The engine name is part of the recorded scenario; normalize it
+        // so the comparison covers every *measured* field.
+        let mut normalized = cell.clone();
+        normalized.engine = first.engine.clone();
+        assert!(
+            first.deterministic_eq(&normalized),
+            "cell diverged at PIF_WORKERS={workers}, engine={}",
+            engine.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Campaigns replay bit-identically, both directly and through the
+    /// recorded scenario (`ChaosCell::scenario` → `run_campaign`).
+    #[test]
+    fn campaigns_replay_from_recorded_scenarios(
+        seed in 0u64..500,
+        topo in 0usize..3,
+        corrupt in 0usize..3,
+    ) {
+        let topology = [
+            Topology::Ring { n: 6 },
+            Topology::Grid { w: 3, h: 2 },
+            Topology::Chain { n: 5 },
+        ][topo].clone();
+        let mut cfg = churny(topology, seed, Engine::Aos);
+        cfg.corrupt_registers = corrupt;
+        let a = run_campaign(&cfg).expect("campaign failed");
+        let b = run_campaign(&cfg).expect("campaign failed");
+        prop_assert!(a.deterministic_eq(&b), "direct replay diverged");
+        let c = run_campaign(&a.scenario().expect("scenario parses")).expect("campaign failed");
+        prop_assert!(a.deterministic_eq(&c), "scenario replay diverged");
+        prop_assert!(a.snap_ok);
+        prop_assert_eq!(a.steady_within_slo, a.steady_total, "steady SLO must be n/n");
+    }
+
+    /// Arbitrary seeded churn plans never drive a `DynGraph` out of the
+    /// paper's model: every snapshot is connected with a compact,
+    /// strictly ascending base-id map, and every event is accounted as
+    /// applied or skipped.
+    #[test]
+    fn dyn_graph_only_snapshots_valid_instances(seed in 0u64..2000) {
+        let g = generators::torus(3, 3).expect("valid");
+        let plan = ChurnPlan::seeded(&g, 4, 3, seed);
+        let mut dyn_g = DynGraph::new(g);
+        let mut accounted = 0;
+        for epoch in 1..=4u32 {
+            for ev in plan.events_at(epoch) {
+                match dyn_g.apply(ev.action) {
+                    ChurnOutcome::Applied | ChurnOutcome::Skipped(_) => accounted += 1,
+                }
+                let (snap, map) = dyn_g.snapshot();
+                prop_assert!(metrics::is_connected(&snap));
+                prop_assert_eq!(snap.len(), map.len());
+                prop_assert!(map.windows(2).all(|w| w[0] < w[1]), "map must ascend");
+                for (i, &b) in map.iter().enumerate() {
+                    for j in snap.neighbors(pif_suite::graph::ProcId::from_index(i)) {
+                        prop_assert!(dyn_g.link_up(b, map[j.index()]));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(accounted, plan.events.len());
+        prop_assert_eq!(dyn_g.applied() + dyn_g.skipped(), accounted as u64);
+    }
+
+    /// Link failures map onto the net transport's fault channel and back;
+    /// node churn is honestly reported as unrepresentable.
+    #[test]
+    fn net_mapping_round_trips_link_state(seed in 0u64..500) {
+        let g = generators::ring(5).expect("valid");
+        let plan = ChurnPlan::seeded(&g, 2, 3, seed);
+        let root = pif_suite::graph::ProcId(0);
+        let mut net = pif_suite::net::NetBuilder::new(
+            g.clone(),
+            pif_suite::core::PifProtocol::new(root, &g),
+        )
+        .states(pif_suite::core::initial::normal_starting(&g))
+        .seed(seed)
+        .build()
+        .expect("net builds");
+        for ev in &plan.events {
+            let mapped = pif_suite::chaos::apply_to_net(ev.action, &mut net);
+            match ev.action {
+                ChurnAction::FailLink(u, v) => {
+                    prop_assert_eq!(mapped, g.has_edge(u, v));
+                    if mapped {
+                        prop_assert_eq!(net.link_down(u, v), Some(true));
+                        prop_assert!(pif_suite::chaos::apply_to_net(
+                            ChurnAction::RecoverLink(u, v),
+                            &mut net
+                        ));
+                        prop_assert_eq!(net.link_down(u, v), Some(false));
+                    }
+                }
+                ChurnAction::RecoverLink(u, v) => prop_assert_eq!(mapped, g.has_edge(u, v)),
+                ChurnAction::Leave(_) | ChurnAction::Join(_) => prop_assert!(!mapped),
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Measured-reduction assertions for torus translation automorphisms
+//! (the ROADMAP leftover from PR 8).
+//!
+//! Every non-identity translation of a torus is **fixed-point-free**, so
+//! it can never enter the verifier's root-fixing symmetry quotient — per
+//! rooted instance there is nothing to exploit. What translations *do*
+//! buy is cross-instance: they act transitively on the vertex set, so
+//! every choice of PIF root is carried onto every other and a root sweep
+//! over a `w × h` torus needs only one representative instance instead
+//! of `w·h`. These tests machine-check both halves of that claim:
+//!
+//! 1. the reduction factor itself — `representative_roots` under the
+//!    translation group of torus(3×3) collapses all nine roots to one
+//!    representative with measured orbit size 9;
+//! 2. its soundness premise — for every translation `σ`, the instance
+//!    rooted at `σ(0)` started from the `σ`-relabeled adversarial
+//!    configuration runs **observably identically** under the
+//!    synchronous daemon: same step and round counts, same `Pif` phase
+//!    and `Fok` flag at every (relabeled) processor, and the same full
+//!    register state at the root. Non-root `Par`/`Count` registers are
+//!    deliberately excluded from the comparison: the paper's `B-action`
+//!    leaves the parent choice nondeterministic and the implementation
+//!    resolves it as `Par := min(Potential)` by `ProcId` order, which a
+//!    fixed-point-free translation cannot preserve — the runs build
+//!    different (equally valid) spanning trees of the *same* wave, so
+//!    tree bookkeeping may differ while every [PIF1]/[PIF2] observable
+//!    agrees.
+
+use pif_suite::core::{initial, PifProtocol, PifState};
+use pif_suite::daemon::daemons::Synchronous;
+use pif_suite::daemon::{RunLimits, Simulator};
+use pif_suite::graph::{automorphism, generators, ProcId};
+use pif_suite::verify::representative_roots;
+
+/// Relabels a configuration along `σ`: processor `v`'s registers move to
+/// `σ(v)`, with the parent pointer mapped through `σ`.
+fn relabel(states: &[PifState], sigma: &[ProcId]) -> Vec<PifState> {
+    let mut out = states.to_vec();
+    for (v, s) in states.iter().enumerate() {
+        out[sigma[v].index()] = PifState { par: sigma[s.par.index()], ..*s };
+    }
+    out
+}
+
+/// Runs `steps` synchronous-daemon steps from `cfg` on the instance
+/// rooted at `root` and returns (rounds completed, final configuration).
+fn run_fixed_horizon(
+    root: ProcId,
+    cfg: Vec<PifState>,
+    steps: u64,
+) -> (u64, Vec<PifState>) {
+    let g = generators::torus(3, 3).unwrap();
+    let mut sim = Simulator::builder(g.clone(), PifProtocol::new(root, &g))
+        .states(cfg)
+        .build();
+    let mut daemon = Synchronous::first_action();
+    sim.run_until(&mut daemon, RunLimits::new(10 * steps, 10 * steps), |s| s.steps() >= steps)
+        .expect("fixed-horizon run fits the budget");
+    (sim.rounds(), sim.states().to_vec())
+}
+
+#[test]
+fn torus_root_sweep_collapses_nine_fold() {
+    let g = generators::torus(3, 3).unwrap();
+    let group = automorphism::torus_translations(3, 3);
+    assert_eq!(group.len(), 9);
+    let reps = representative_roots(&g, &group);
+    assert_eq!(reps, vec![(ProcId(0), 9)], "one representative certifies all 9 roots");
+
+    // The measured factor: instances to check shrink 9 → 1.
+    let swept: usize = reps.iter().map(|&(_, size)| size).sum();
+    assert_eq!(swept, g.len(), "orbits partition the root choices");
+    assert_eq!(swept / reps.len(), 9, "measured reduction factor");
+}
+
+#[test]
+fn non_automorphism_generators_are_ignored_not_trusted() {
+    // A transposition of two adjacent torus vertices is not an
+    // automorphism; feeding it in must not merge any orbits.
+    let g = generators::torus(3, 3).unwrap();
+    let mut bogus: Vec<ProcId> = g.procs().collect();
+    bogus.swap(0, 1);
+    assert!(!automorphism::is_automorphism(&g, &bogus));
+    let reps = representative_roots(&g, &[bogus]);
+    assert_eq!(reps.len(), 9, "every root stays its own representative");
+    assert!(reps.iter().all(|&(_, size)| size == 1));
+}
+
+#[test]
+fn translated_roots_run_observably_identically() {
+    const HORIZON: u64 = 400;
+    let g = generators::torus(3, 3).unwrap();
+    let base_root = ProcId(0);
+    let base_protocol = PifProtocol::new(base_root, &g);
+    // A worst-case-shaped corruption: fake tree + primed leaf contention.
+    let base_cfg = initial::adversarial_config(&g, &base_protocol, ProcId(4), 7);
+    let (base_rounds, base_final) = run_fixed_horizon(base_root, base_cfg.clone(), HORIZON);
+
+    let mut certified = 0usize;
+    for sigma in automorphism::torus_translations(3, 3) {
+        let root = sigma[base_root.index()];
+        let (rounds, final_states) =
+            run_fixed_horizon(root, relabel(&base_cfg, &sigma), HORIZON);
+        let expected = relabel(&base_final, &sigma);
+        assert_eq!(rounds, base_rounds, "rounds at root {root:?}");
+        for (v, (got, want)) in final_states.iter().zip(&expected).enumerate() {
+            // Specification observables: the wave itself ([PIF1]) and
+            // the feedback acknowledgement flag ([PIF2] progress).
+            assert_eq!(got.phase, want.phase, "phase of v{v} at root {root:?}");
+            assert_eq!(got.fok, want.fok, "fok of v{v} at root {root:?}");
+        }
+        // The root's complete register state — including `Count`, the
+        // [PIF2] decision variable — is preserved exactly; only non-root
+        // tree bookkeeping is tie-break-sensitive.
+        assert_eq!(
+            final_states[root.index()],
+            expected[root.index()],
+            "root registers at {root:?}"
+        );
+        certified += 1;
+    }
+    assert_eq!(certified, 9, "one run's measurements held for all 9 rooted instances");
+}
